@@ -1,0 +1,383 @@
+//! Schedule-randomized tests for the BA automaton.
+//!
+//! The harness runs `N` automata over an in-memory message pool and delivers
+//! messages in a seeded-random order, optionally duplicating deliveries and
+//! injecting Byzantine traffic. Each test asserts the BFT properties
+//! (Termination, Agreement, Validity) over many schedules.
+
+use super::*;
+use dl_crypto::Hash;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What a node does in the harness.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Behavior {
+    Honest,
+    /// Crashed: participates in nothing.
+    Mute,
+    /// Sends conflicting BVal/Aux messages, never follows the protocol.
+    Equivocate,
+    /// Sends BVal/Aux for rounds far in the future (memory-exhaustion probe).
+    FutureSpam,
+}
+
+struct Net {
+    n: usize,
+    f: usize,
+    nodes: Vec<Option<Ba>>, // None for Byzantine nodes
+    behaviors: Vec<Behavior>,
+    /// (from, to, msg)
+    pool: Vec<(NodeId, NodeId, BaMsg)>,
+    decisions: Vec<Option<bool>>,
+    rng: StdRng,
+    /// Probability (percent) that a delivered message is also re-delivered.
+    dup_percent: u32,
+}
+
+impl Net {
+    fn new(n: usize, f: usize, behaviors: Vec<Behavior>, seed: u64) -> Net {
+        assert_eq!(behaviors.len(), n);
+        let salt = Hash::digest(b"ba-test-instance");
+        let nodes = behaviors
+            .iter()
+            .map(|b| match b {
+                Behavior::Honest => Some(Ba::new(n, f, salt)),
+                _ => None,
+            })
+            .collect();
+        Net {
+            n,
+            f,
+            nodes,
+            behaviors,
+            pool: Vec::new(),
+            decisions: vec![None; n],
+            rng: StdRng::seed_from_u64(seed),
+            dup_percent: 0,
+        }
+    }
+
+    fn broadcast(&mut self, from: usize, msg: BaMsg) {
+        for to in 0..self.n {
+            self.pool.push((NodeId(from as u16), NodeId(to as u16), msg));
+        }
+    }
+
+    fn apply_effects(&mut self, node: usize, effects: Vec<BaEffect>) {
+        for eff in effects {
+            match eff {
+                BaEffect::Broadcast(m) => self.broadcast(node, m),
+                BaEffect::Decide(v) => {
+                    assert!(self.decisions[node].is_none(), "double decide at node {node}");
+                    self.decisions[node] = Some(v);
+                }
+            }
+        }
+    }
+
+    fn input_all(&mut self, inputs: &[bool]) {
+        // Byzantine nodes inject their traffic "at input time".
+        for i in 0..self.n {
+            match self.behaviors[i] {
+                Behavior::Honest => {
+                    let effects = self.nodes[i].as_mut().unwrap().input(inputs[i]);
+                    self.apply_effects(i, effects);
+                }
+                Behavior::Mute => {}
+                Behavior::Equivocate => {
+                    // Conflicting BVals: value depends on recipient parity,
+                    // plus contradictory Aux for both values.
+                    for to in 0..self.n {
+                        let v = to % 2 == 0;
+                        self.pool.push((
+                            NodeId(i as u16),
+                            NodeId(to as u16),
+                            BaMsg::BVal { round: 0, value: v },
+                        ));
+                        self.pool.push((
+                            NodeId(i as u16),
+                            NodeId(to as u16),
+                            BaMsg::Aux { round: 0, value: !v },
+                        ));
+                        self.pool.push((
+                            NodeId(i as u16),
+                            NodeId(to as u16),
+                            BaMsg::Term { value: v },
+                        ));
+                    }
+                }
+                Behavior::FutureSpam => {
+                    for to in 0..self.n {
+                        for r in [500u16, 1000, 60000] {
+                            self.pool.push((
+                                NodeId(i as u16),
+                                NodeId(to as u16),
+                                BaMsg::BVal { round: r, value: true },
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deliver until quiescent. Returns false if the pool drained without
+    /// all honest nodes deciding.
+    fn run(&mut self) -> bool {
+        let mut steps = 0usize;
+        while !self.pool.is_empty() {
+            steps += 1;
+            assert!(steps < 2_000_000, "runaway schedule");
+            let idx = self.rng.gen_range(0..self.pool.len());
+            let (from, to, msg) = self.pool.swap_remove(idx);
+            let duplicate = self.rng.gen_range(0..100) < self.dup_percent;
+            if let Some(ba) = self.nodes[to.idx()].as_mut() {
+                let effects = ba.handle(from, msg);
+                self.apply_effects(to.idx(), effects);
+                if duplicate {
+                    let effects = self.nodes[to.idx()].as_mut().unwrap().handle(from, msg);
+                    self.apply_effects(to.idx(), effects);
+                }
+            }
+        }
+        (0..self.n)
+            .filter(|&i| self.behaviors[i] == Behavior::Honest)
+            .all(|i| self.decisions[i].is_some())
+    }
+
+    fn check_agreement_validity(&self, inputs: &[bool]) {
+        let honest: Vec<usize> = (0..self.n)
+            .filter(|&i| self.behaviors[i] == Behavior::Honest)
+            .collect();
+        let decided: Vec<bool> = honest.iter().map(|&i| self.decisions[i].unwrap()).collect();
+        // Agreement
+        assert!(
+            decided.windows(2).all(|w| w[0] == w[1]),
+            "honest nodes disagree: {decided:?}"
+        );
+        // Validity: the decision was some honest node's input.
+        let v = decided[0];
+        assert!(
+            honest.iter().any(|&i| inputs[i] == v),
+            "decided {v} but no honest node input it (inputs {inputs:?})"
+        );
+    }
+}
+
+fn all_honest(n: usize) -> Vec<Behavior> {
+    vec![Behavior::Honest; n]
+}
+
+#[test]
+fn unanimous_one_decides_one_fast() {
+    for seed in 0..30 {
+        let mut net = Net::new(4, 1, all_honest(4), seed);
+        net.input_all(&[true; 4]);
+        assert!(net.run(), "termination failed at seed {seed}");
+        net.check_agreement_validity(&[true; 4]);
+        assert!(net.decisions.iter().all(|d| *d == Some(true)));
+        // With the biased round-0 coin, unanimous-1 must finish in round 0/1.
+        for ba in net.nodes.iter().flatten() {
+            assert!(ba.round() <= 2, "took {} rounds", ba.round());
+        }
+    }
+}
+
+#[test]
+fn unanimous_zero_decides_zero() {
+    for seed in 0..30 {
+        let mut net = Net::new(4, 1, all_honest(4), seed);
+        net.input_all(&[false; 4]);
+        assert!(net.run());
+        net.check_agreement_validity(&[false; 4]);
+        assert!(net.decisions.iter().all(|d| *d == Some(false)));
+    }
+}
+
+#[test]
+fn mixed_inputs_agree() {
+    for seed in 0..50 {
+        let inputs = [true, false, true, false];
+        let mut net = Net::new(4, 1, all_honest(4), seed);
+        net.input_all(&inputs);
+        assert!(net.run(), "seed {seed}");
+        net.check_agreement_validity(&inputs);
+    }
+}
+
+#[test]
+fn mixed_inputs_larger_cluster() {
+    for seed in 0..10 {
+        let n = 7;
+        let inputs: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let mut net = Net::new(n, 2, all_honest(n), seed);
+        net.input_all(&inputs);
+        assert!(net.run(), "seed {seed}");
+        net.check_agreement_validity(&inputs);
+    }
+}
+
+#[test]
+fn tolerates_f_crashed_nodes() {
+    for seed in 0..30 {
+        let mut behaviors = all_honest(4);
+        behaviors[3] = Behavior::Mute;
+        let inputs = [true, true, true, true];
+        let mut net = Net::new(4, 1, behaviors, seed);
+        net.input_all(&inputs);
+        assert!(net.run(), "crash-tolerance failed at seed {seed}");
+        net.check_agreement_validity(&inputs);
+    }
+}
+
+#[test]
+fn tolerates_crashes_in_larger_cluster() {
+    for seed in 0..10 {
+        let n = 10;
+        let f = 3;
+        let mut behaviors = all_honest(n);
+        behaviors[1] = Behavior::Mute;
+        behaviors[4] = Behavior::Mute;
+        behaviors[8] = Behavior::Mute;
+        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let mut net = Net::new(n, f, behaviors, seed);
+        net.input_all(&inputs);
+        assert!(net.run(), "seed {seed}");
+        net.check_agreement_validity(&inputs);
+    }
+}
+
+#[test]
+fn tolerates_equivocators() {
+    for seed in 0..30 {
+        let mut behaviors = all_honest(4);
+        behaviors[0] = Behavior::Equivocate;
+        let inputs = [false, true, true, true];
+        let mut net = Net::new(4, 1, behaviors, seed);
+        net.input_all(&inputs);
+        assert!(net.run(), "equivocator broke liveness at seed {seed}");
+        net.check_agreement_validity(&inputs);
+    }
+}
+
+#[test]
+fn tolerates_equivocators_with_split_honest_inputs() {
+    for seed in 0..30 {
+        let n = 7;
+        let mut behaviors = all_honest(n);
+        behaviors[2] = Behavior::Equivocate;
+        behaviors[5] = Behavior::Equivocate;
+        let inputs: Vec<bool> = (0..n).map(|i| i < 3).collect();
+        let mut net = Net::new(n, 2, behaviors, seed);
+        net.input_all(&inputs);
+        assert!(net.run(), "seed {seed}");
+        net.check_agreement_validity(&inputs);
+    }
+}
+
+#[test]
+fn future_round_spam_is_bounded() {
+    let mut behaviors = all_honest(4);
+    behaviors[2] = Behavior::FutureSpam;
+    let inputs = [true, true, true, true];
+    let mut net = Net::new(4, 1, behaviors, 7);
+    net.input_all(&inputs);
+    assert!(net.run());
+    net.check_agreement_validity(&inputs);
+    // Spammed rounds beyond the lookahead cap must not allocate state.
+    for ba in net.nodes.iter().flatten() {
+        assert!(ba.rounds.len() <= MAX_ROUND_LOOKAHEAD + 2);
+    }
+}
+
+#[test]
+fn duplicate_deliveries_are_harmless() {
+    for seed in 0..20 {
+        let inputs = [true, false, false, true];
+        let mut net = Net::new(4, 1, all_honest(4), seed);
+        net.dup_percent = 50;
+        net.input_all(&inputs);
+        assert!(net.run(), "seed {seed}");
+        net.check_agreement_validity(&inputs);
+    }
+}
+
+#[test]
+fn double_input_ignored() {
+    let salt = Hash::digest(b"i");
+    let mut ba = Ba::new(4, 1, salt);
+    let first = ba.input(true);
+    assert!(!first.is_empty());
+    assert!(ba.input(false).is_empty());
+    assert!(ba.has_input());
+}
+
+#[test]
+fn instance_halts_and_garbage_collects() {
+    for seed in 0..10 {
+        let mut net = Net::new(4, 1, all_honest(4), seed);
+        net.input_all(&[true; 4]);
+        assert!(net.run());
+        // After full delivery every honest node must have quiesced: decided
+        // and received all 4 > 2f+1 Terms.
+        for ba in net.nodes.iter().flatten() {
+            assert!(ba.halted(), "node failed to halt (seed {seed})");
+        }
+    }
+}
+
+#[test]
+fn no_effects_after_halt() {
+    let mut net = Net::new(4, 1, all_honest(4), 3);
+    net.input_all(&[true; 4]);
+    assert!(net.run());
+    let ba = net.nodes[0].as_mut().unwrap();
+    assert!(ba.handle(NodeId(1), BaMsg::BVal { round: 0, value: false }).is_empty());
+    assert!(ba.input(false).is_empty());
+}
+
+#[test]
+fn term_amplification_decides_without_rounds() {
+    // A node that missed the whole round protocol still decides from f+1
+    // Terms, and halts at 2f+1.
+    let salt = Hash::digest(b"ba-test-instance");
+    let mut ba = Ba::new(4, 1, salt);
+    let _ = ba.input(false);
+    let e1 = ba.handle(NodeId(1), BaMsg::Term { value: true });
+    assert!(e1.is_empty());
+    let e2 = ba.handle(NodeId(2), BaMsg::Term { value: true });
+    assert!(e2.contains(&BaEffect::Decide(true)));
+    assert!(e2.iter().any(|e| matches!(e, BaEffect::Broadcast(BaMsg::Term { value: true }))));
+    assert!(!ba.halted());
+    let _ = ba.handle(NodeId(3), BaMsg::Term { value: true });
+    assert!(ba.halted());
+}
+
+#[test]
+fn conflicting_terms_from_byzantine_minority_do_not_decide() {
+    let salt = Hash::digest(b"ba-test-instance");
+    let mut ba = Ba::new(7, 2, salt);
+    let _ = ba.input(true);
+    // f=2: two Terms for `false` (all Byzantine) must not trigger a decision.
+    let _ = ba.handle(NodeId(1), BaMsg::Term { value: false });
+    let e = ba.handle(NodeId(2), BaMsg::Term { value: false });
+    assert!(!e.contains(&BaEffect::Decide(false)));
+    assert_eq!(ba.decision(), None);
+}
+
+#[test]
+fn many_seeds_agreement_fuzz() {
+    // Broad fuzz over cluster sizes, inputs and schedules.
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..40 {
+        let n = *[4usize, 5, 7, 10].iter().nth(rng.gen_range(0..4)).unwrap();
+        let f = (n - 1) / 3;
+        let inputs: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        let seed = rng.gen();
+        let mut net = Net::new(n, f, all_honest(n), seed);
+        net.input_all(&inputs);
+        assert!(net.run(), "n={n} seed={seed}");
+        net.check_agreement_validity(&inputs);
+    }
+}

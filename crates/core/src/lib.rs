@@ -1,0 +1,82 @@
+//! # DispersedLedger
+//!
+//! A from-scratch Rust implementation of **DispersedLedger** (Yang, Park,
+//! Alizadeh, Kannan, Tse — NSDI 2022): an asynchronous BFT protocol that
+//! decouples *agreement on data availability* from *block retrieval*, so that
+//! nodes with temporarily low bandwidth do not throttle the rest of the
+//! cluster.
+//!
+//! The crate provides the full node automaton ([`Node`]) plus the baselines
+//! the paper evaluates against, selected by [`ProtocolVariant`]:
+//!
+//! | Variant | Votes after | Next epoch after | Inter-node linking |
+//! |---|---|---|---|
+//! | `Dl` | dispersal (`VID` Complete) | all BAs output | yes |
+//! | `DlCoupled` | dispersal | all BAs output | yes (empty blocks while lagging) |
+//! | `HoneyBadger` | full block retrieval | epoch delivered | no |
+//! | `HoneyBadgerLink` | full block retrieval | epoch delivered | yes |
+//!
+//! The node is **sans-IO**: it consumes `(from, Envelope)` pairs plus a
+//! millisecond clock and emits [`NodeEffect`]s. Two drivers ship in this
+//! workspace: `dl-sim` (discrete-event WAN emulation used by the paper's
+//! benchmark reproductions) and `dl-net` (a real tokio TCP mesh).
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use dl_core::{Node, NodeConfig, NodeEffect, ProtocolVariant, RealBlockCoder};
+//! use dl_wire::{ClusterConfig, NodeId, Tx};
+//!
+//! let cluster = ClusterConfig::new(4);
+//! let cfg = NodeConfig::new(cluster.clone(), ProtocolVariant::Dl);
+//! let mut nodes: Vec<_> = (0..4)
+//!     .map(|i| Node::new(NodeId(i), cfg.clone(), RealBlockCoder::new(&cluster)))
+//!     .collect();
+//!
+//! // Submit a transaction at node 0 and run the message loop to quiescence.
+//! let mut wire: Vec<(NodeId, NodeId, dl_wire::Envelope)> = Vec::new();
+//! let mut now = 0u64;
+//! fn sink(
+//!     from: NodeId,
+//!     effs: Vec<NodeEffect<Vec<u8>>>,
+//!     wire: &mut Vec<(NodeId, NodeId, dl_wire::Envelope)>,
+//! ) {
+//!     for e in effs {
+//!         if let NodeEffect::Send(to, env) = e { wire.push((from, to, env)); }
+//!     }
+//! }
+//! let effs = nodes[0].submit_tx(Tx::synthetic(NodeId(0), 0, 0, 100), now);
+//! sink(NodeId(0), effs, &mut wire);
+//! for _ in 0..600 {
+//!     now += 10;
+//!     for i in 0..4usize {
+//!         let effs = nodes[i].poll(now);
+//!         sink(NodeId(i as u16), effs, &mut wire);
+//!     }
+//!     while let Some((from, to, env)) = wire.pop() {
+//!         let effs = nodes[to.idx()].handle(from, env, now);
+//!         sink(to, effs, &mut wire);
+//!     }
+//! }
+//! assert!(nodes.iter().all(|n| n.stats().txs_delivered == 1));
+//! ```
+
+pub mod byzantine;
+mod coder;
+mod linking;
+mod node;
+mod queue;
+mod variant;
+
+pub use coder::{BlockCoder, RealBlockCoder};
+pub use linking::{compute_linking_estimate, CompletionTracker, Observation};
+pub use node::{DeliveredBlock, Node, NodeEffect, NodeStats};
+pub use queue::InputQueue;
+pub use variant::{NodeConfig, ProposeGate, ProtocolVariant, VariantFlags};
+
+/// Default Nagle delay threshold for block proposal (paper §5: 100 ms).
+pub const DEFAULT_PROPOSE_DELAY_MS: u64 = 100;
+/// Default Nagle size threshold for block proposal (paper §5: 150 KB).
+pub const DEFAULT_PROPOSE_SIZE: usize = 150 * 1000;
+/// How far (in epochs) beyond our agreement frontier we accept messages.
+pub const DEFAULT_EPOCH_LOOKAHEAD: u64 = 64;

@@ -1,0 +1,261 @@
+//! Dense matrices over GF(2^8) with Gauss–Jordan inversion.
+//!
+//! Only what Reed–Solomon construction needs: build Vandermonde matrices,
+//! multiply, take sub-matrices, and invert. Sizes are tiny (≤ N×N where N is
+//! the cluster size, ≤ a few hundred), so a straightforward O(n³) inversion is
+//! plenty.
+
+use crate::gf256;
+
+/// Row-major matrix over GF(2^8).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            writeln!(f, "  {:02x?}", self.row(r))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Vandermonde matrix: `m[r][c] = r^c` (row evaluation points 0..rows).
+    ///
+    /// Any `k` rows of an `n×k` Vandermonde matrix with distinct evaluation
+    /// points are linearly independent, which is the property the systematic
+    /// RS construction needs.
+    pub fn vandermonde(rows: usize, cols: usize) -> Matrix {
+        assert!(rows <= 256, "GF(2^8) supports at most 256 evaluation points");
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, gf256::pow(r as u8, c));
+            }
+        }
+        m
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: u8) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r`.
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self × rhs`.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let prod = gf256::mul(a, rhs.get(k, c));
+                    out.set(r, c, out.get(r, c) ^ prod);
+                }
+            }
+        }
+        out
+    }
+
+    /// New matrix from a subset of rows.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zero(indices.len(), self.cols);
+        for (i, &r) in indices.iter().enumerate() {
+            assert!(r < self.rows, "row index out of range");
+            let dst = i * self.cols;
+            out.data[dst..dst + self.cols].copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Sub-matrix `[r0..r1) × [c0..c1)`.
+    pub fn submatrix(&self, r0: usize, c0: usize, r1: usize, c1: usize) -> Matrix {
+        assert!(r1 <= self.rows && c1 <= self.cols && r0 <= r1 && c0 <= c1);
+        let mut out = Matrix::zero(r1 - r0, c1 - c0);
+        for r in r0..r1 {
+            for c in c0..c1 {
+                out.set(r - r0, c - c0, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Gauss–Jordan inverse; `None` if singular.
+    pub fn invert(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "inverse of non-square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+
+        for col in 0..n {
+            // Find pivot.
+            let pivot = (col..n).find(|&r| a.get(r, col) != 0)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Scale pivot row to make the pivot 1.
+            let p = a.get(col, col);
+            if p != 1 {
+                let pinv = gf256::inv(p);
+                a.scale_row(col, pinv);
+                inv.scale_row(col, pinv);
+            }
+            // Eliminate every other row.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a.get(r, col);
+                if factor != 0 {
+                    a.add_scaled_row(r, col, factor);
+                    inv.add_scaled_row(r, col, factor);
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, r1: usize, r2: usize) {
+        if r1 == r2 {
+            return;
+        }
+        for c in 0..self.cols {
+            let t = self.get(r1, c);
+            self.set(r1, c, self.get(r2, c));
+            self.set(r2, c, t);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, factor: u8) {
+        for c in 0..self.cols {
+            self.set(r, c, gf256::mul(self.get(r, c), factor));
+        }
+    }
+
+    /// `row[r] ^= factor * row[src]`.
+    fn add_scaled_row(&mut self, r: usize, src: usize, factor: u8) {
+        for c in 0..self.cols {
+            let v = gf256::mul(self.get(src, c), factor);
+            self.set(r, c, self.get(r, c) ^ v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let v = Matrix::vandermonde(5, 3);
+        let i3 = Matrix::identity(3);
+        assert_eq!(v.mul(&i3), v);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        // Any square sub-Vandermonde with distinct points is invertible.
+        for n in 1..=8 {
+            let v = Matrix::vandermonde(n, n);
+            let inv = v.invert().expect("vandermonde invertible");
+            assert_eq!(v.mul(&inv), Matrix::identity(n));
+            assert_eq!(inv.mul(&v), Matrix::identity(n));
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut m = Matrix::zero(2, 2);
+        m.set(0, 0, 3);
+        m.set(0, 1, 5);
+        m.set(1, 0, 3);
+        m.set(1, 1, 5);
+        assert!(m.invert().is_none());
+        assert!(Matrix::zero(3, 3).invert().is_none());
+    }
+
+    #[test]
+    fn select_rows_picks_rows() {
+        let v = Matrix::vandermonde(6, 3);
+        let s = v.select_rows(&[0, 2, 5]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.row(0), v.row(0));
+        assert_eq!(s.row(1), v.row(2));
+        assert_eq!(s.row(2), v.row(5));
+    }
+
+    #[test]
+    fn submatrix_extracts_block() {
+        let v = Matrix::vandermonde(4, 4);
+        let s = v.submatrix(1, 1, 3, 4);
+        assert_eq!((s.rows(), s.cols()), (2, 3));
+        assert_eq!(s.get(0, 0), v.get(1, 1));
+        assert_eq!(s.get(1, 2), v.get(2, 3));
+    }
+
+    #[test]
+    fn any_k_rows_of_vandermonde_invertible() {
+        // The core RS property, exhaustively for small sizes.
+        let n = 7;
+        let k = 3;
+        let v = Matrix::vandermonde(n, k);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    let sub = v.select_rows(&[a, b, c]);
+                    assert!(sub.invert().is_some(), "rows {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_dimensions() {
+        let a = Matrix::vandermonde(4, 2);
+        let b = Matrix::vandermonde(2, 5);
+        let c = a.mul(&b);
+        assert_eq!((c.rows(), c.cols()), (4, 5));
+    }
+}

@@ -1,0 +1,477 @@
+//! AVID-M property tests: Termination, Agreement, Availability, Correctness
+//! under crash faults, Byzantine dispersers and adversarial schedules.
+
+use super::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// In-memory VID network: N servers, a message pool delivered in seeded
+/// random order, plus any number of retrieval clients.
+struct Net {
+    n: usize,
+    coder: RealCoder,
+    servers: Vec<VidServer<RealCoder>>,
+    /// Crashed servers drop all input and send nothing.
+    crashed: Vec<bool>,
+    /// (from, to, msg)
+    pool: Vec<(NodeId, NodeId, VidMsg)>,
+    completes: Vec<Option<Hash>>,
+    retrievers: Vec<(NodeId, Retriever<RealCoder>)>,
+    results: Vec<Option<Retrieved<Vec<u8>>>>,
+    rng: StdRng,
+}
+
+impl Net {
+    fn new(n: usize, f: usize, seed: u64) -> Net {
+        Net {
+            n,
+            coder: RealCoder::new(n, f),
+            servers: (0..n).map(|i| VidServer::new(NodeId(i as u16), n, f)).collect(),
+            crashed: vec![false; n],
+            pool: Vec::new(),
+            completes: vec![None; n],
+            retrievers: Vec::new(),
+            results: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn disperse(&mut self, from: NodeId, block: &[u8]) {
+        for eff in Disperser::disperse(&self.coder, &block.to_vec()) {
+            if let VidEffect::Send(to, msg) = eff {
+                self.pool.push((from, to, msg));
+            }
+        }
+    }
+
+    /// A Byzantine disperser: encodes two different blocks and sends chunks
+    /// of block A under block A's root to half the servers, chunks of block
+    /// B under B's root to the rest (equivocation — no single root quorum).
+    fn disperse_equivocating(&mut self, from: NodeId, a: &[u8], b: &[u8]) {
+        let ea = self.coder.encode(&a.to_vec());
+        let eb = self.coder.encode(&b.to_vec());
+        for i in 0..self.n {
+            let (root, (payload, proof)) = if i % 2 == 0 {
+                (ea.root, ea.chunks[i].clone())
+            } else {
+                (eb.root, eb.chunks[i].clone())
+            };
+            self.pool.push((
+                from,
+                NodeId(i as u16),
+                VidMsg::Chunk { root, proof, payload },
+            ));
+        }
+    }
+
+    /// A Byzantine disperser that commits to *inconsistent* chunks: random
+    /// garbage chunks under one Merkle root. Proofs are valid (the root
+    /// really commits the garbage), but the chunks are not an RS codeword.
+    fn disperse_inconsistent(&mut self, from: NodeId, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = self.coder.data_chunks();
+        let len = 64usize;
+        let garbage: Vec<Vec<u8>> = (0..self.n)
+            .map(|_| (0..len).map(|_| rng.gen()).collect())
+            .collect();
+        let _ = k;
+        let tree = dl_crypto::MerkleTree::build(&garbage);
+        let root = tree.root();
+        for i in 0..self.n {
+            self.pool.push((
+                from,
+                NodeId(i as u16),
+                VidMsg::Chunk {
+                    root,
+                    proof: tree.prove(i as u32),
+                    payload: dl_wire::ChunkPayload::Real(bytes::Bytes::from(
+                        garbage[i].clone(),
+                    )),
+                },
+            ));
+        }
+    }
+
+    fn start_retrieval(&mut self, client: NodeId) {
+        let (r, effects) = Retriever::<RealCoder>::start(self.n, true);
+        self.retrievers.push((client, r));
+        self.results.push(None);
+        for eff in effects {
+            if let VidEffect::Broadcast(msg) = eff {
+                for to in 0..self.n {
+                    self.pool.push((client, NodeId(to as u16), msg.clone()));
+                }
+            }
+        }
+    }
+
+    fn apply_server_effects(&mut self, server: usize, effects: Vec<VidEffect<Vec<u8>>>) {
+        for eff in effects {
+            match eff {
+                VidEffect::Send(to, msg) => {
+                    self.pool.push((NodeId(server as u16), to, msg));
+                }
+                VidEffect::Broadcast(msg) => {
+                    for to in 0..self.n {
+                        self.pool.push((NodeId(server as u16), NodeId(to as u16), msg.clone()));
+                    }
+                }
+                VidEffect::Complete(root) => {
+                    assert!(self.completes[server].is_none(), "double Complete");
+                    self.completes[server] = Some(root);
+                }
+                VidEffect::Retrieved(_) => unreachable!("server cannot retrieve"),
+            }
+        }
+    }
+
+    /// Deliver everything (random order). Retrieval clients are identified
+    /// by NodeIds ≥ n so server messages reach them.
+    fn run(&mut self) {
+        let mut steps = 0;
+        while !self.pool.is_empty() {
+            steps += 1;
+            assert!(steps < 1_000_000, "runaway schedule");
+            let idx = self.rng.gen_range(0..self.pool.len());
+            let (from, to, msg) = self.pool.swap_remove(idx);
+            if to.idx() < self.n {
+                if self.crashed[to.idx()] {
+                    continue;
+                }
+                let effects = self.servers[to.idx()].handle(&self.coder, from, msg);
+                self.apply_server_effects(to.idx(), effects);
+            } else {
+                // A retrieval client.
+                let pos = self
+                    .retrievers
+                    .iter()
+                    .position(|(c, _)| *c == to)
+                    .expect("unknown client");
+                let coder = self.coder.clone();
+                let (_, retr) = &mut self.retrievers[pos];
+                let effects = retr.handle(&coder, from, msg);
+                for eff in effects {
+                    match eff {
+                        VidEffect::Retrieved(r) => {
+                            assert!(self.results[pos].is_none());
+                            self.results[pos] = Some(r);
+                        }
+                        VidEffect::Broadcast(m) => {
+                            for s in 0..self.n {
+                                self.pool.push((to, NodeId(s as u16), m.clone()));
+                            }
+                        }
+                        VidEffect::Send(dst, m) => self.pool.push((to, dst, m)),
+                        VidEffect::Complete(_) => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+
+    fn client_id(&self, i: usize) -> NodeId {
+        NodeId((self.n + i) as u16)
+    }
+}
+
+fn block(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 37 + 11) as u8).collect()
+}
+
+#[test]
+fn termination_all_correct() {
+    for seed in 0..20 {
+        let mut net = Net::new(4, 1, seed);
+        net.disperse(NodeId(0), &block(1000));
+        net.run();
+        assert!(net.completes.iter().all(|c| c.is_some()), "seed {seed}");
+        // Agreement on the root.
+        let roots: Vec<_> = net.completes.iter().flatten().collect();
+        assert!(roots.windows(2).all(|w| w[0] == w[1]));
+    }
+}
+
+#[test]
+fn termination_with_f_crashes() {
+    for seed in 0..20 {
+        let mut net = Net::new(7, 2, seed);
+        net.crashed[1] = true;
+        net.crashed[5] = true;
+        net.disperse(NodeId(0), &block(5000));
+        net.run();
+        for i in 0..7 {
+            if !net.crashed[i] {
+                assert!(net.completes[i].is_some(), "server {i} seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn retrieval_returns_dispersed_block() {
+    for seed in 0..10 {
+        let mut net = Net::new(4, 1, seed);
+        let b = block(2500);
+        net.disperse(NodeId(0), &b);
+        let c = net.client_id(0);
+        net.start_retrieval(c);
+        net.run();
+        assert_eq!(net.results[0], Some(Retrieved::Block(b.clone())), "seed {seed}");
+    }
+}
+
+#[test]
+fn retrieval_succeeds_with_only_n_minus_2f_responders() {
+    // Availability floor: f crashed + f more crash *after* dispersal; the
+    // remaining N−2f chunks must reconstruct.
+    for seed in 0..10 {
+        let mut net = Net::new(7, 2, seed);
+        let b = block(900);
+        net.disperse(NodeId(0), &b);
+        net.run();
+        assert!(net.completes.iter().all(|c| c.is_some()));
+        // Now 2f servers go dark before any retrieval.
+        net.crashed[0] = true;
+        net.crashed[1] = true;
+        net.crashed[2] = true;
+        net.crashed[3] = true;
+        let c = net.client_id(0);
+        net.start_retrieval(c);
+        net.run();
+        assert_eq!(net.results[0], Some(Retrieved::Block(b.clone())), "seed {seed}");
+    }
+}
+
+#[test]
+fn equivocating_disperser_never_completes() {
+    // No root can gather N−f GotChunks when chunks split across two roots
+    // (4 nodes: 2 per root < N−f = 3).
+    for seed in 0..10 {
+        let mut net = Net::new(4, 1, seed);
+        net.disperse_equivocating(NodeId(0), &block(100), &block(200));
+        net.run();
+        assert!(net.completes.iter().all(|c| c.is_none()), "seed {seed}");
+    }
+}
+
+#[test]
+fn inconsistent_encoding_yields_bad_uploader_for_every_client() {
+    // Correctness under a malicious disperser: the dispersal *completes*
+    // (chunks all verify against the root), but every retrieval returns the
+    // canonical BadUploader value — and crucially, all clients agree.
+    for seed in 0..10 {
+        let mut net = Net::new(4, 1, seed);
+        net.disperse_inconsistent(NodeId(0), seed);
+        net.run();
+        assert!(net.completes.iter().all(|c| c.is_some()), "seed {seed}");
+        net.start_retrieval(net.client_id(0));
+        net.start_retrieval(net.client_id(1));
+        net.run();
+        assert_eq!(net.results[0], Some(Retrieved::BadUploader), "seed {seed}");
+        assert_eq!(net.results[1], Some(Retrieved::BadUploader), "seed {seed}");
+    }
+}
+
+#[test]
+fn multiple_clients_retrieve_same_block() {
+    for seed in 0..10 {
+        let mut net = Net::new(7, 2, seed);
+        let b = block(10_000);
+        net.disperse(NodeId(3), &b);
+        for i in 0..3 {
+            net.start_retrieval(net.client_id(i));
+        }
+        net.run();
+        for i in 0..3 {
+            assert_eq!(net.results[i], Some(Retrieved::Block(b.clone())));
+        }
+    }
+}
+
+#[test]
+fn request_before_complete_is_deferred_not_dropped() {
+    // Start retrieval before dispersal: Fig. 4 servers defer the response.
+    let mut net = Net::new(4, 1, 42);
+    let c = net.client_id(0);
+    net.start_retrieval(c);
+    net.run(); // requests land, get parked
+    assert!(net.results[0].is_none());
+    let b = block(321);
+    net.disperse(NodeId(0), &b);
+    net.run();
+    assert_eq!(net.results[0], Some(Retrieved::Block(b)));
+}
+
+#[test]
+fn forged_proofs_rejected() {
+    let n = 4;
+    let f = 1;
+    let coder = RealCoder::new(n, f);
+    let mut server: VidServer<RealCoder> = VidServer::new(NodeId(1), n, f);
+    let enc = coder.encode(&block(64));
+    // Wrong index: chunk 0's proof sent to server 1.
+    let (payload, proof) = enc.chunks[0].clone();
+    let effs = server.handle(
+        &coder,
+        NodeId(0),
+        VidMsg::Chunk { root: enc.root, proof, payload },
+    );
+    assert!(effs.is_empty(), "server must ignore a chunk that is not its own");
+    // Corrupted payload under a valid proof.
+    let (payload, proof) = enc.chunks[1].clone();
+    let bad_payload = match payload {
+        dl_wire::ChunkPayload::Real(b) => {
+            let mut v = b.to_vec();
+            v[0] ^= 0xff;
+            dl_wire::ChunkPayload::Real(bytes::Bytes::from(v))
+        }
+        _ => unreachable!(),
+    };
+    let effs = server.handle(
+        &coder,
+        NodeId(0),
+        VidMsg::Chunk { root: enc.root, proof, payload: bad_payload },
+    );
+    assert!(effs.is_empty());
+    assert!(server.completed().is_none());
+}
+
+#[test]
+fn duplicate_control_messages_ignored() {
+    let n = 4;
+    let f = 1;
+    let coder = RealCoder::new(n, f);
+    let mut server: VidServer<RealCoder> = VidServer::new(NodeId(0), n, f);
+    let root = Hash::digest(b"some root");
+    // The same GotChunk from the same sender three times counts once: no
+    // Ready should fire from one sender's spam (needs N−f = 3 senders).
+    for _ in 0..3 {
+        let effs = server.handle(&coder, NodeId(2), VidMsg::GotChunk { root });
+        assert!(effs.is_empty());
+    }
+    // Three distinct senders do trigger Ready.
+    let _ = server.handle(&coder, NodeId(1), VidMsg::GotChunk { root });
+    let effs = server.handle(&coder, NodeId(3), VidMsg::GotChunk { root });
+    assert!(effs
+        .iter()
+        .any(|e| matches!(e, VidEffect::Broadcast(VidMsg::Ready { .. }))));
+}
+
+#[test]
+fn ready_amplification_from_f_plus_one() {
+    let n = 4;
+    let f = 1;
+    let coder = RealCoder::new(n, f);
+    let mut server: VidServer<RealCoder> = VidServer::new(NodeId(0), n, f);
+    let root = Hash::digest(b"r");
+    let e1 = server.handle(&coder, NodeId(1), VidMsg::Ready { root });
+    assert!(e1.is_empty());
+    let e2 = server.handle(&coder, NodeId(2), VidMsg::Ready { root });
+    assert!(e2
+        .iter()
+        .any(|e| matches!(e, VidEffect::Broadcast(VidMsg::Ready { .. }))));
+    // 2f+1 = 3 Readys complete the dispersal even though we hold no chunk.
+    let e3 = server.handle(&coder, NodeId(3), VidMsg::Ready { root });
+    assert!(e3.contains(&VidEffect::Complete(root)));
+}
+
+#[test]
+fn server_sends_one_ready_for_one_root_only() {
+    // Lemma B.3 in implementation form: once Ready(r) is sent, Ready(r')
+    // must never follow.
+    let n = 4;
+    let f = 1;
+    let coder = RealCoder::new(n, f);
+    let mut server: VidServer<RealCoder> = VidServer::new(NodeId(0), n, f);
+    let r1 = Hash::digest(b"r1");
+    let r2 = Hash::digest(b"r2");
+    for i in 1..=3u16 {
+        let _ = server.handle(&coder, NodeId(i), VidMsg::GotChunk { root: r1 });
+    }
+    // Now a (impossible for correct peers, but Byzantine-crafted) second
+    // quorum for r2.
+    let mut effects = Vec::new();
+    for i in 1..=3u16 {
+        effects.extend(server.handle(&coder, NodeId(i), VidMsg::GotChunk { root: r2 }));
+    }
+    assert!(
+        !effects
+            .iter()
+            .any(|e| matches!(e, VidEffect::Broadcast(VidMsg::Ready { root }) if *root == r2)),
+        "server must not send Ready for a second root"
+    );
+}
+
+#[test]
+fn cancel_clears_pending_request() {
+    let n = 4;
+    let f = 1;
+    let coder = RealCoder::new(n, f);
+    let mut server: VidServer<RealCoder> = VidServer::new(NodeId(1), n, f);
+    let client = NodeId(9);
+    let _ = server.handle(&coder, client, VidMsg::RequestChunk);
+    let _ = server.handle(&coder, client, VidMsg::Cancel);
+    // Complete the dispersal; the canceled request must not be served.
+    let enc = coder.encode(&block(64));
+    let (payload, proof) = enc.chunks[1].clone();
+    let _ = server.handle(&coder, NodeId(0), VidMsg::Chunk { root: enc.root, proof, payload });
+    let mut effects = Vec::new();
+    for i in [0u16, 2, 3] {
+        effects.extend(server.handle(&coder, NodeId(i), VidMsg::Ready { root: enc.root }));
+    }
+    assert!(
+        !effects
+            .iter()
+            .any(|e| matches!(e, VidEffect::Send(to, VidMsg::ReturnChunk { .. }) if *to == client)),
+        "canceled request served anyway"
+    );
+}
+
+#[test]
+fn retriever_groups_by_root() {
+    // A Byzantine server returns a chunk under a bogus root; it must not
+    // count toward the honest root's quorum.
+    let n = 4;
+    let f = 1;
+    let coder = RealCoder::new(n, f);
+    let b = block(128);
+    let enc = coder.encode(&b.to_vec());
+    let (mut retr, _) = Retriever::<RealCoder>::start(n, false);
+
+    // Bogus root from server 0 (self-consistent Merkle tree over garbage).
+    let garbage: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; enc.chunks[0].0.chunk_len()]).collect();
+    let gt = dl_crypto::MerkleTree::build(&garbage);
+    let effs = retr.handle(
+        &coder,
+        NodeId(0),
+        VidMsg::ReturnChunk {
+            root: gt.root(),
+            proof: gt.prove(0),
+            payload: dl_wire::ChunkPayload::Real(bytes::Bytes::from(garbage[0].clone())),
+        },
+    );
+    assert!(effs.is_empty());
+
+    // Honest chunks from servers 1 and 2 complete the k=2 quorum.
+    for i in [1usize, 2] {
+        let (payload, proof) = enc.chunks[i].clone();
+        let effs = retr.handle(
+            &coder,
+            NodeId(i as u16),
+            VidMsg::ReturnChunk { root: enc.root, proof, payload },
+        );
+        if i == 2 {
+            assert!(effs.iter().any(|e| matches!(e, VidEffect::Retrieved(Retrieved::Block(got)) if *got == b)));
+        }
+    }
+}
+
+#[test]
+fn big_block_roundtrip_through_full_protocol() {
+    let mut net = Net::new(16, 5, 3);
+    let b = block(300_000);
+    net.disperse(NodeId(7), &b);
+    net.start_retrieval(net.client_id(0));
+    net.run();
+    assert_eq!(net.results[0], Some(Retrieved::Block(b)));
+}

@@ -1,0 +1,347 @@
+//! Minimal binary codec: little-endian integers, length-prefixed byte strings.
+//!
+//! Two traits, [`WireEncode`] and [`WireDecode`], implemented for the
+//! primitives the protocol needs. Decoding is strict: trailing bytes, short
+//! buffers and out-of-range tags are errors, so a malformed message from a
+//! Byzantine peer is rejected rather than misinterpreted.
+
+use bytes::Bytes;
+use dl_crypto::{Hash, MerkleProof};
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Buffer ended before the value was complete.
+    UnexpectedEnd,
+    /// An enum tag or field had an invalid value.
+    InvalidValue(&'static str),
+    /// A length prefix exceeded the sanity limit.
+    LengthOverflow,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd => write!(f, "unexpected end of buffer"),
+            CodecError::InvalidValue(what) => write!(f, "invalid value for {what}"),
+            CodecError::LengthOverflow => write!(f, "length prefix too large"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Upper bound on any single length-prefixed field (64 MiB). Blocks in the
+/// paper's experiments top out around 12 MB; this bound stops a Byzantine
+/// peer from making us allocate absurd buffers.
+pub const MAX_FIELD_LEN: usize = 64 << 20;
+
+/// Types that can be written to the wire.
+pub trait WireEncode {
+    /// Append the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Exact number of bytes [`encode`](WireEncode::encode) appends.
+    fn encoded_len(&self) -> usize;
+
+    /// Encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        self.encode(&mut buf);
+        debug_assert_eq!(buf.len(), self.encoded_len());
+        buf
+    }
+}
+
+/// Types that can be read back from the wire.
+pub trait WireDecode: Sized {
+    /// Consume bytes from the front of `buf`.
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError>;
+
+    /// Decode a complete buffer; trailing bytes are an error.
+    fn from_bytes(mut buf: &[u8]) -> Result<Self, CodecError> {
+        let v = Self::decode(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(CodecError::InvalidValue("trailing bytes"));
+        }
+        Ok(v)
+    }
+}
+
+// ---- primitive helpers ----
+
+pub fn read_u8(buf: &mut &[u8]) -> Result<u8, CodecError> {
+    let (&b, rest) = buf.split_first().ok_or(CodecError::UnexpectedEnd)?;
+    *buf = rest;
+    Ok(b)
+}
+
+pub fn read_bool(buf: &mut &[u8]) -> Result<bool, CodecError> {
+    match read_u8(buf)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(CodecError::InvalidValue("bool")),
+    }
+}
+
+macro_rules! read_int {
+    ($name:ident, $ty:ty, $len:expr) => {
+        pub fn $name(buf: &mut &[u8]) -> Result<$ty, CodecError> {
+            if buf.len() < $len {
+                return Err(CodecError::UnexpectedEnd);
+            }
+            let (head, rest) = buf.split_at($len);
+            *buf = rest;
+            Ok(<$ty>::from_le_bytes(head.try_into().unwrap()))
+        }
+    };
+}
+
+read_int!(read_u16, u16, 2);
+read_int!(read_u32, u32, 4);
+read_int!(read_u64, u64, 8);
+
+pub fn read_bytes(buf: &mut &[u8], len: usize) -> Result<Vec<u8>, CodecError> {
+    if len > MAX_FIELD_LEN {
+        return Err(CodecError::LengthOverflow);
+    }
+    if buf.len() < len {
+        return Err(CodecError::UnexpectedEnd);
+    }
+    let (head, rest) = buf.split_at(len);
+    *buf = rest;
+    Ok(head.to_vec())
+}
+
+impl WireEncode for u8 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self);
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl WireEncode for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self as u8);
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+macro_rules! impl_int {
+    ($ty:ty, $len:expr) => {
+        impl WireEncode for $ty {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+            fn encoded_len(&self) -> usize {
+                $len
+            }
+        }
+    };
+}
+
+impl_int!(u16, 2);
+impl_int!(u32, 4);
+impl_int!(u64, 8);
+
+impl WireDecode for u8 {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        read_u8(buf)
+    }
+}
+impl WireDecode for bool {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        read_bool(buf)
+    }
+}
+impl WireDecode for u16 {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        read_u16(buf)
+    }
+}
+impl WireDecode for u32 {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        read_u32(buf)
+    }
+}
+impl WireDecode for u64 {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        read_u64(buf)
+    }
+}
+
+/// Length-prefixed byte string.
+impl WireEncode for Bytes {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        buf.extend_from_slice(self);
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl WireDecode for Bytes {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = read_u32(buf)? as usize;
+        Ok(Bytes::from(read_bytes(buf, len)?))
+    }
+}
+
+/// Length-prefixed list.
+impl<T: WireEncode> WireEncode for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.iter().map(|i| i.encoded_len()).sum::<usize>()
+    }
+}
+
+impl<T: WireDecode> WireDecode for Vec<T> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = read_u32(buf)? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(CodecError::LengthOverflow);
+        }
+        let mut out = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl WireEncode for Hash {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.0);
+    }
+    fn encoded_len(&self) -> usize {
+        32
+    }
+}
+
+impl WireDecode for Hash {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let bytes = read_bytes(buf, 32)?;
+        Ok(Hash(bytes.try_into().unwrap()))
+    }
+}
+
+impl WireEncode for MerkleProof {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.index.encode(buf);
+        self.leaf_count.encode(buf);
+        (self.path.len() as u8).encode(buf);
+        for h in &self.path {
+            h.encode(buf);
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        4 + 4 + 1 + 32 * self.path.len()
+    }
+}
+
+impl WireDecode for MerkleProof {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let index = read_u32(buf)?;
+        let leaf_count = read_u32(buf)?;
+        let path_len = read_u8(buf)? as usize;
+        if path_len > 32 {
+            // depth 32 covers 2^32 leaves; anything bigger is garbage
+            return Err(CodecError::InvalidValue("merkle path length"));
+        }
+        let mut path = Vec::with_capacity(path_len);
+        for _ in 0..path_len {
+            path.push(Hash::decode(buf)?);
+        }
+        Ok(MerkleProof { index, leaf_count, path })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: WireEncode + WireDecode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), v.encoded_len());
+        let back = T::from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(0xBEEFu16);
+        roundtrip(0xDEADBEEFu32);
+        roundtrip(0x0123_4567_89AB_CDEFu64);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        roundtrip(Bytes::from(vec![1u8, 2, 3]));
+        roundtrip(Bytes::new());
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u32>::new());
+    }
+
+    #[test]
+    fn hash_and_proof_roundtrip() {
+        roundtrip(Hash::digest(b"x"));
+        roundtrip(MerkleProof {
+            index: 3,
+            leaf_count: 16,
+            path: vec![Hash::digest(b"a"), Hash::digest(b"b")],
+        });
+    }
+
+    #[test]
+    fn short_buffer_is_error() {
+        let h = Hash::digest(b"x");
+        let bytes = h.to_bytes();
+        assert_eq!(Hash::from_bytes(&bytes[..31]), Err(CodecError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 7u32.to_bytes();
+        bytes.push(0);
+        assert!(u32::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_bool_rejected() {
+        assert_eq!(bool::from_bytes(&[2]), Err(CodecError::InvalidValue("bool")));
+    }
+
+    #[test]
+    fn huge_length_prefix_rejected() {
+        let mut buf = Vec::new();
+        (u32::MAX).encode(&mut buf);
+        assert!(Bytes::from_bytes(&buf).is_err());
+    }
+
+    #[test]
+    fn absurd_merkle_path_rejected() {
+        let mut buf = Vec::new();
+        3u32.encode(&mut buf);
+        16u32.encode(&mut buf);
+        200u8.encode(&mut buf);
+        assert!(MerkleProof::from_bytes(&buf).is_err());
+    }
+}
