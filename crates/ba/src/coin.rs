@@ -31,12 +31,18 @@ pub struct CommonCoin {
 impl CommonCoin {
     /// Coin for the instance identified by `salt`, with the round-0 bias on.
     pub fn new(salt: Hash) -> CommonCoin {
-        CommonCoin { salt, first_flip_one: true }
+        CommonCoin {
+            salt,
+            first_flip_one: true,
+        }
     }
 
     /// Coin without the round-0 bias (used by the ablation bench).
     pub fn unbiased(salt: Hash) -> CommonCoin {
-        CommonCoin { salt, first_flip_one: false }
+        CommonCoin {
+            salt,
+            first_flip_one: false,
+        }
     }
 
     /// The shared coin value for `round`.
@@ -67,7 +73,10 @@ mod tests {
         let a = CommonCoin::new(Hash::digest(b"x"));
         let b = CommonCoin::new(Hash::digest(b"y"));
         let differing = (1..200).filter(|&r| a.flip(r) != b.flip(r)).count();
-        assert!(differing > 50, "salts should decorrelate coins, got {differing}");
+        assert!(
+            differing > 50,
+            "salts should decorrelate coins, got {differing}"
+        );
     }
 
     #[test]
@@ -84,6 +93,9 @@ mod tests {
     fn roughly_fair() {
         let coin = CommonCoin::new(Hash::digest(b"fairness"));
         let ones = (1..1001).filter(|&r| coin.flip(r)).count();
-        assert!((400..=600).contains(&ones), "coin badly biased: {ones}/1000");
+        assert!(
+            (400..=600).contains(&ones),
+            "coin badly biased: {ones}/1000"
+        );
     }
 }

@@ -189,7 +189,10 @@ impl Ba {
         let rs = self.round_mut(r);
         if !rs.bval_sent[v as usize] {
             rs.bval_sent[v as usize] = true;
-            out.push(BaEffect::Broadcast(BaMsg::BVal { round: r as u16, value: v }));
+            out.push(BaEffect::Broadcast(BaMsg::BVal {
+                round: r as u16,
+                value: v,
+            }));
         }
     }
 
@@ -273,7 +276,10 @@ impl Ba {
                 let v = rs.bin_values[1];
                 let rs = self.round_mut(r);
                 rs.aux_sent = true;
-                out.push(BaEffect::Broadcast(BaMsg::Aux { round: r as u16, value: v }));
+                out.push(BaEffect::Broadcast(BaMsg::Aux {
+                    round: r as u16,
+                    value: v,
+                }));
             }
             // Step 3: wait for N−f Aux messages whose values are all in
             // bin_values.

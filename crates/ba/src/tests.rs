@@ -24,7 +24,6 @@ enum Behavior {
 
 struct Net {
     n: usize,
-    f: usize,
     nodes: Vec<Option<Ba>>, // None for Byzantine nodes
     behaviors: Vec<Behavior>,
     /// (from, to, msg)
@@ -48,7 +47,6 @@ impl Net {
             .collect();
         Net {
             n,
-            f,
             nodes,
             behaviors,
             pool: Vec::new(),
@@ -60,7 +58,8 @@ impl Net {
 
     fn broadcast(&mut self, from: usize, msg: BaMsg) {
         for to in 0..self.n {
-            self.pool.push((NodeId(from as u16), NodeId(to as u16), msg));
+            self.pool
+                .push((NodeId(from as u16), NodeId(to as u16), msg));
         }
     }
 
@@ -69,7 +68,10 @@ impl Net {
             match eff {
                 BaEffect::Broadcast(m) => self.broadcast(node, m),
                 BaEffect::Decide(v) => {
-                    assert!(self.decisions[node].is_none(), "double decide at node {node}");
+                    assert!(
+                        self.decisions[node].is_none(),
+                        "double decide at node {node}"
+                    );
                     self.decisions[node] = Some(v);
                 }
             }
@@ -78,10 +80,10 @@ impl Net {
 
     fn input_all(&mut self, inputs: &[bool]) {
         // Byzantine nodes inject their traffic "at input time".
-        for i in 0..self.n {
+        for (i, &input) in inputs.iter().enumerate() {
             match self.behaviors[i] {
                 Behavior::Honest => {
-                    let effects = self.nodes[i].as_mut().unwrap().input(inputs[i]);
+                    let effects = self.nodes[i].as_mut().unwrap().input(input);
                     self.apply_effects(i, effects);
                 }
                 Behavior::Mute => {}
@@ -98,7 +100,10 @@ impl Net {
                         self.pool.push((
                             NodeId(i as u16),
                             NodeId(to as u16),
-                            BaMsg::Aux { round: 0, value: !v },
+                            BaMsg::Aux {
+                                round: 0,
+                                value: !v,
+                            },
                         ));
                         self.pool.push((
                             NodeId(i as u16),
@@ -113,7 +118,10 @@ impl Net {
                             self.pool.push((
                                 NodeId(i as u16),
                                 NodeId(to as u16),
-                                BaMsg::BVal { round: r, value: true },
+                                BaMsg::BVal {
+                                    round: r,
+                                    value: true,
+                                },
                             ));
                         }
                     }
@@ -333,7 +341,15 @@ fn no_effects_after_halt() {
     net.input_all(&[true; 4]);
     assert!(net.run());
     let ba = net.nodes[0].as_mut().unwrap();
-    assert!(ba.handle(NodeId(1), BaMsg::BVal { round: 0, value: false }).is_empty());
+    assert!(ba
+        .handle(
+            NodeId(1),
+            BaMsg::BVal {
+                round: 0,
+                value: false
+            }
+        )
+        .is_empty());
     assert!(ba.input(false).is_empty());
 }
 
@@ -348,7 +364,9 @@ fn term_amplification_decides_without_rounds() {
     assert!(e1.is_empty());
     let e2 = ba.handle(NodeId(2), BaMsg::Term { value: true });
     assert!(e2.contains(&BaEffect::Decide(true)));
-    assert!(e2.iter().any(|e| matches!(e, BaEffect::Broadcast(BaMsg::Term { value: true }))));
+    assert!(e2
+        .iter()
+        .any(|e| matches!(e, BaEffect::Broadcast(BaMsg::Term { value: true }))));
     assert!(!ba.halted());
     let _ = ba.handle(NodeId(3), BaMsg::Term { value: true });
     assert!(ba.halted());
@@ -371,7 +389,7 @@ fn many_seeds_agreement_fuzz() {
     // Broad fuzz over cluster sizes, inputs and schedules.
     let mut rng = StdRng::seed_from_u64(42);
     for _ in 0..40 {
-        let n = *[4usize, 5, 7, 10].iter().nth(rng.gen_range(0..4)).unwrap();
+        let n = *[4usize, 5, 7, 10].get(rng.gen_range(0..4)).unwrap();
         let f = (n - 1) / 3;
         let inputs: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
         let seed = rng.gen();

@@ -1,0 +1,289 @@
+//! Byzantine node behaviours for tests and fault-injection runs.
+//!
+//! A [`ByzantineNode`] exposes the same three entry points as the honest
+//! [`crate::Node`] and returns the same [`NodeEffect`] vocabulary, so
+//! drivers (the mesh test harness, `dl-sim`) can drop one into a cluster
+//! slot without special-casing. Two behaviours ship:
+//!
+//! * [`ByzantineBehavior::Mute`] — a crashed node: consumes everything,
+//!   emits nothing. Exercises the `f`-crash-tolerance of every layer.
+//! * [`ByzantineBehavior::Equivocate`] — a malicious proposer: disperses
+//!   *two different blocks* for the same epoch, sending chunks of block A
+//!   (under A's Merkle root) to even-numbered peers and chunks of block B
+//!   to odd-numbered peers, and votes contradictorily in every BA. AVID-M
+//!   guarantees no root can assemble an `N − f` quorum, so the equivocator's
+//!   dispersal never completes and its BA slot decides 0 — the cluster
+//!   commits the epoch without it.
+
+use dl_wire::{BaMsg, Block, Envelope, Epoch, NodeId, Tx, VidMsg};
+
+use crate::coder::BlockCoder;
+use crate::node::NodeEffect;
+use crate::variant::NodeConfig;
+
+/// What a Byzantine node does.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ByzantineBehavior {
+    /// Crashed: participates in nothing.
+    Mute,
+    /// Disperses two conflicting blocks per epoch and votes both ways in
+    /// every BA.
+    Equivocate,
+}
+
+/// A faulty cluster member with the same driver interface as [`crate::Node`].
+pub struct ByzantineNode<C: BlockCoder> {
+    me: NodeId,
+    cfg: NodeConfig,
+    coder: C,
+    behavior: ByzantineBehavior,
+    /// Highest epoch this node has attacked (0 = none yet).
+    attacked_up_to: u64,
+}
+
+impl<C: BlockCoder> ByzantineNode<C> {
+    pub fn new(
+        me: NodeId,
+        cfg: NodeConfig,
+        coder: C,
+        behavior: ByzantineBehavior,
+    ) -> ByzantineNode<C> {
+        assert!(me.idx() < cfg.cluster.n, "node id out of range");
+        ByzantineNode {
+            me,
+            cfg,
+            coder,
+            behavior,
+            attacked_up_to: 0,
+        }
+    }
+
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    pub fn behavior(&self) -> ByzantineBehavior {
+        self.behavior
+    }
+
+    /// Byzantine nodes ignore client transactions.
+    pub fn submit_tx(&mut self, _tx: Tx, _now: u64) -> Vec<NodeEffect> {
+        Vec::new()
+    }
+
+    /// Equivocators attack an epoch the first time they see traffic for it;
+    /// mute nodes drop everything.
+    pub fn handle(&mut self, _from: NodeId, env: Envelope, _now: u64) -> Vec<NodeEffect> {
+        match self.behavior {
+            ByzantineBehavior::Mute => Vec::new(),
+            ByzantineBehavior::Equivocate => {
+                let epoch = env.epoch.0;
+                if epoch == 0 || epoch <= self.attacked_up_to || epoch > self.attacked_up_to + 8 {
+                    return Vec::new(); // once per epoch; bounded lookahead
+                }
+                self.attacked_up_to = epoch;
+                self.attack(epoch)
+            }
+        }
+    }
+
+    /// Mute and equivocating nodes do nothing on their own clock; the
+    /// equivocator is purely reactive.
+    pub fn poll(&mut self, _now: u64) -> Vec<NodeEffect> {
+        Vec::new()
+    }
+
+    /// The equivocation payload for one epoch: two conflicting dispersals
+    /// plus contradictory BA votes.
+    fn attack(&self, epoch: u64) -> Vec<NodeEffect> {
+        let n = self.cfg.cluster.n;
+        let mut out = Vec::new();
+        let block_a = Block {
+            header: dl_wire::BlockHeader {
+                epoch: Epoch(epoch),
+                proposer: self.me,
+                v_array: vec![0; n],
+            },
+            body: vec![Tx::synthetic(self.me, epoch, 0, 64)],
+        };
+        let mut block_b = block_a.clone();
+        block_b.body = vec![Tx::synthetic(self.me, epoch, 1, 96)];
+        let enc_a = self.coder.encode(&self.coder.pack(&block_a));
+        let enc_b = self.coder.encode(&self.coder.pack(&block_b));
+        for i in 0..n {
+            let to = NodeId(i as u16);
+            if to == self.me {
+                continue;
+            }
+            let (enc, root) = if i % 2 == 0 {
+                (&enc_a, enc_a.root)
+            } else {
+                (&enc_b, enc_b.root)
+            };
+            let (payload, proof) = enc.chunks[i].clone();
+            out.push(NodeEffect::Send(
+                to,
+                Envelope::vid(
+                    Epoch(epoch),
+                    self.me,
+                    VidMsg::Chunk {
+                        root,
+                        proof,
+                        payload,
+                    },
+                ),
+            ));
+            // Contradictory binary-agreement votes on every instance.
+            for j in 0..n {
+                out.push(NodeEffect::Send(
+                    to,
+                    Envelope::ba(
+                        Epoch(epoch),
+                        NodeId(j as u16),
+                        BaMsg::BVal {
+                            round: 0,
+                            value: i % 2 == 0,
+                        },
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coder::RealBlockCoder;
+    use crate::node::Node;
+    use crate::variant::ProtocolVariant;
+    use dl_wire::ClusterConfig;
+    use std::collections::VecDeque;
+
+    type Wire = VecDeque<(NodeId, NodeId, Envelope)>;
+    type TxOrders = Vec<Vec<(NodeId, u64)>>;
+
+    fn sink(from: usize, effs: Vec<NodeEffect>, wire: &mut Wire, orders: &mut TxOrders) {
+        for eff in effs {
+            match eff {
+                NodeEffect::Send(to, env) => wire.push_back((NodeId(from as u16), to, env)),
+                NodeEffect::Deliver(d) => {
+                    if let Some(b) = d.block {
+                        orders[from].extend(b.body.iter().map(Tx::id));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Mesh of 3 honest nodes + 1 Byzantine in slot 3.
+    fn run_cluster(behavior: ByzantineBehavior) -> (Vec<Node<RealBlockCoder>>, TxOrders) {
+        let cluster = ClusterConfig::new(4);
+        let cfg = NodeConfig::new(cluster.clone(), ProtocolVariant::Dl);
+        let mut honest: Vec<Node<RealBlockCoder>> = (0..3)
+            .map(|i| Node::new(NodeId(i as u16), cfg.clone(), RealBlockCoder::new(&cluster)))
+            .collect();
+        let mut byz = ByzantineNode::new(
+            NodeId(3),
+            cfg.clone(),
+            RealBlockCoder::new(&cluster),
+            behavior,
+        );
+        let mut wire: Wire = VecDeque::new();
+        let mut orders: TxOrders = vec![Vec::new(); 3];
+        let mut now = 0;
+        let effs = honest[0].submit_tx(Tx::synthetic(NodeId(0), 0, 0, 120), now);
+        sink(0, effs, &mut wire, &mut orders);
+        for _ in 0..900 {
+            now += 10;
+            for (i, node) in honest.iter_mut().enumerate() {
+                let effs = node.poll(now);
+                sink(i, effs, &mut wire, &mut orders);
+            }
+            while let Some((from, to, env)) = wire.pop_front() {
+                if to.idx() < 3 {
+                    let effs = honest[to.idx()].handle(from, env, now);
+                    sink(to.idx(), effs, &mut wire, &mut orders);
+                } else {
+                    let effs = byz.handle(from, env, now);
+                    sink(3, effs, &mut wire, &mut orders);
+                }
+            }
+        }
+        (honest, orders)
+    }
+
+    #[test]
+    fn cluster_survives_mute_node() {
+        let (honest, orders) = run_cluster(ByzantineBehavior::Mute);
+        for (i, node) in honest.iter().enumerate() {
+            assert_eq!(node.stats().txs_delivered, 1, "node {i}");
+        }
+        assert!(orders.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn cluster_survives_equivocating_node() {
+        let (honest, orders) = run_cluster(ByzantineBehavior::Equivocate);
+        for (i, node) in honest.iter().enumerate() {
+            assert_eq!(node.stats().txs_delivered, 1, "node {i}");
+            // The equivocator's dispersal must never complete, so nothing
+            // of it is ever delivered.
+            assert_eq!(node.stats().malformed_blocks_delivered, 0, "node {i}");
+        }
+        assert!(orders.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn equivocator_attacks_each_epoch_once() {
+        let cluster = ClusterConfig::new(4);
+        let cfg = NodeConfig::new(cluster.clone(), ProtocolVariant::Dl);
+        let mut byz = ByzantineNode::new(
+            NodeId(3),
+            cfg,
+            RealBlockCoder::new(&cluster),
+            ByzantineBehavior::Equivocate,
+        );
+        let env = Envelope::ba(
+            Epoch(1),
+            NodeId(0),
+            BaMsg::BVal {
+                round: 0,
+                value: true,
+            },
+        );
+        let first = byz.handle(NodeId(0), env.clone(), 0);
+        assert!(!first.is_empty());
+        assert!(
+            byz.handle(NodeId(0), env, 5).is_empty(),
+            "second attack on same epoch"
+        );
+    }
+
+    #[test]
+    fn mute_node_is_silent() {
+        let cluster = ClusterConfig::new(4);
+        let cfg = NodeConfig::new(cluster.clone(), ProtocolVariant::Dl);
+        let mut byz = ByzantineNode::new(
+            NodeId(3),
+            cfg,
+            RealBlockCoder::new(&cluster),
+            ByzantineBehavior::Mute,
+        );
+        assert!(byz
+            .submit_tx(Tx::synthetic(NodeId(3), 0, 0, 10), 0)
+            .is_empty());
+        assert!(byz.poll(1000).is_empty());
+        let env = Envelope::ba(
+            Epoch(1),
+            NodeId(0),
+            BaMsg::BVal {
+                round: 0,
+                value: true,
+            },
+        );
+        assert!(byz.handle(NodeId(0), env, 0).is_empty());
+    }
+}

@@ -30,7 +30,9 @@ pub struct RealBlockCoder {
 
 impl RealBlockCoder {
     pub fn new(cluster: &ClusterConfig) -> RealBlockCoder {
-        RealBlockCoder { inner: RealCoder::new(cluster.n, cluster.f) }
+        RealBlockCoder {
+            inner: RealCoder::new(cluster.n, cluster.f),
+        }
     }
 }
 
@@ -83,7 +85,11 @@ mod tests {
         let cluster = ClusterConfig::new(4);
         let coder = RealBlockCoder::new(&cluster);
         let block = Block {
-            header: BlockHeader { epoch: Epoch(3), proposer: NodeId(1), v_array: vec![1, 2, 0, 3] },
+            header: BlockHeader {
+                epoch: Epoch(3),
+                proposer: NodeId(1),
+                v_array: vec![1, 2, 0, 3],
+            },
             body: vec![Tx::synthetic(NodeId(1), 0, 5, 64)],
         };
         let packed = coder.pack(&block);

@@ -38,7 +38,7 @@
 //! let mut now = 0u64;
 //! fn sink(
 //!     from: NodeId,
-//!     effs: Vec<NodeEffect<Vec<u8>>>,
+//!     effs: Vec<NodeEffect>,
 //!     wire: &mut Vec<(NodeId, NodeId, dl_wire::Envelope)>,
 //! ) {
 //!     for e in effs {
@@ -68,9 +68,10 @@ mod node;
 mod queue;
 mod variant;
 
+pub use byzantine::{ByzantineBehavior, ByzantineNode};
 pub use coder::{BlockCoder, RealBlockCoder};
 pub use linking::{compute_linking_estimate, CompletionTracker, Observation};
-pub use node::{DeliveredBlock, Node, NodeEffect, NodeStats};
+pub use node::{DeliveredBlock, Node, NodeEffect, NodeStats, StatEvent};
 pub use queue::InputQueue;
 pub use variant::{NodeConfig, ProposeGate, ProtocolVariant, VariantFlags};
 

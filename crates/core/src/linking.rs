@@ -175,7 +175,11 @@ mod tests {
         for j in 0..4 {
             let lo = correct_a[j].min(correct_b[j]);
             let hi = correct_a[j].max(correct_b[j]);
-            assert!(e[j] >= lo && e[j] <= hi, "j={j} e={} not in [{lo},{hi}]", e[j]);
+            assert!(
+                e[j] >= lo && e[j] <= hi,
+                "j={j} e={} not in [{lo},{hi}]",
+                e[j]
+            );
         }
     }
 

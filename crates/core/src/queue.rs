@@ -89,4 +89,52 @@ mod tests {
         assert_eq!(seqs, vec![0, 1, 2]);
         assert_eq!(q.bytes(), 0);
     }
+
+    #[test]
+    fn requeue_restores_byte_accounting() {
+        let mut q = InputQueue::new();
+        q.push(tx(3, 7));
+        q.push_front_batch(vec![tx(0, 100), tx(1, 50)]);
+        assert_eq!(q.bytes(), 157, "re-queued payload bytes must count");
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn empty_requeue_is_a_noop() {
+        let mut q = InputQueue::new();
+        q.push(tx(0, 5));
+        q.push_front_batch(Vec::new());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.bytes(), 5);
+    }
+
+    #[test]
+    fn repeated_requeues_stack_oldest_first() {
+        // Two dropped blocks re-queued in reverse drop order (newest first,
+        // as the delivery pipeline resolves epochs in order) end up oldest
+        // tx first.
+        let mut q = InputQueue::new();
+        q.push_front_batch(vec![tx(2, 1), tx(3, 1)]); // epoch e+1's block
+        q.push_front_batch(vec![tx(0, 1), tx(1, 1)]); // epoch e's block
+        let seqs: Vec<u64> = q.drain_all().iter().map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn drain_on_empty_queue() {
+        let mut q = InputQueue::new();
+        assert!(q.drain_all().is_empty());
+        assert_eq!(q.bytes(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn zero_length_payloads_count_in_len_not_bytes() {
+        let mut q = InputQueue::new();
+        q.push(tx(0, 0));
+        q.push(tx(1, 0));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.bytes(), 0);
+        assert!(!q.is_empty());
+    }
 }

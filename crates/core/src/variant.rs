@@ -150,25 +150,79 @@ mod tests {
     use super::*;
 
     #[test]
-    fn variant_flag_matrix() {
-        let dl = ProtocolVariant::Dl.flags();
-        assert!(!dl.vote_requires_retrieval && dl.linking);
-        assert_eq!(dl.propose_gate, ProposeGate::DispersalDone);
-
-        let hb = ProtocolVariant::HoneyBadger.flags();
-        assert!(hb.vote_requires_retrieval && !hb.linking);
-        assert_eq!(hb.propose_gate, ProposeGate::Delivered);
-
-        let hbl = ProtocolVariant::HoneyBadgerLink.flags();
-        assert!(hbl.linking);
-
-        let dlc = ProtocolVariant::DlCoupled.flags();
-        assert!(dlc.empty_when_lagging);
+    fn labels() {
+        assert_eq!(ProtocolVariant::Dl.label(), "DL");
+        assert_eq!(ProtocolVariant::DlCoupled.label(), "DL-Coupled");
+        assert_eq!(ProtocolVariant::HoneyBadger.label(), "HB");
+        assert_eq!(ProtocolVariant::HoneyBadgerLink.label(), "HB-Link");
     }
 
     #[test]
-    fn labels() {
-        assert_eq!(ProtocolVariant::Dl.label(), "DL");
-        assert_eq!(ProtocolVariant::HoneyBadgerLink.label(), "HB-Link");
+    fn full_flag_matrix() {
+        // The complete variant table from the crate docs, one row per
+        // protocol: (vote_requires_retrieval, propose_gate, linking,
+        // empty_when_lagging).
+        let expect = [
+            (
+                ProtocolVariant::Dl,
+                false,
+                ProposeGate::DispersalDone,
+                true,
+                false,
+            ),
+            (
+                ProtocolVariant::DlCoupled,
+                false,
+                ProposeGate::DispersalDone,
+                true,
+                true,
+            ),
+            (
+                ProtocolVariant::HoneyBadger,
+                true,
+                ProposeGate::Delivered,
+                false,
+                false,
+            ),
+            (
+                ProtocolVariant::HoneyBadgerLink,
+                true,
+                ProposeGate::Delivered,
+                true,
+                false,
+            ),
+        ];
+        for (variant, vote, gate, linking, empty) in expect {
+            let f = variant.flags();
+            assert_eq!(f.vote_requires_retrieval, vote, "{variant:?}");
+            assert_eq!(f.propose_gate, gate, "{variant:?}");
+            assert_eq!(f.linking, linking, "{variant:?}");
+            assert_eq!(f.empty_when_lagging, empty, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn config_defaults_match_paper_constants() {
+        let cfg = NodeConfig::new(ClusterConfig::new(4), ProtocolVariant::Dl);
+        assert_eq!(cfg.propose_delay_ms, crate::DEFAULT_PROPOSE_DELAY_MS);
+        assert_eq!(cfg.propose_size, crate::DEFAULT_PROPOSE_SIZE);
+        assert_eq!(cfg.epoch_lookahead, crate::DEFAULT_EPOCH_LOOKAHEAD);
+        assert_eq!(cfg.lag_limit, 1, "P = 1 equals HoneyBadger's coupling");
+        assert!(cfg.early_cancel, "§6.3 cancel optimization defaults on");
+    }
+
+    #[test]
+    fn with_flags_passes_custom_combination_through() {
+        // An ablation combination that is none of the four named variants:
+        // HoneyBadger-style voting with the DL propose gate.
+        let flags = VariantFlags {
+            vote_requires_retrieval: true,
+            propose_gate: ProposeGate::DispersalDone,
+            linking: false,
+            empty_when_lagging: false,
+        };
+        let cfg = NodeConfig::with_flags(ClusterConfig::new(7), flags);
+        assert_eq!(cfg.flags, flags);
+        assert_eq!(cfg.cluster.n, 7);
     }
 }

@@ -129,7 +129,10 @@ impl MerkleTree {
             }
             layers.push(next);
         }
-        MerkleTree { layers, leaf_count: count }
+        MerkleTree {
+            layers,
+            leaf_count: count,
+        }
     }
 
     /// Root commitment of the chunk array.
@@ -154,7 +157,11 @@ impl MerkleTree {
             path.push(*sib);
             idx >>= 1;
         }
-        MerkleProof { index, leaf_count: self.leaf_count, path }
+        MerkleProof {
+            index,
+            leaf_count: self.leaf_count,
+            path,
+        }
     }
 }
 
@@ -187,10 +194,10 @@ mod tests {
             let c = chunks(n);
             let t = MerkleTree::build(&c);
             let root = t.root();
-            for i in 0..n {
+            for (i, chunk) in c.iter().enumerate() {
                 let p = t.prove(i as u32);
                 assert_eq!(p.path.len(), expected_path_len(n as u32));
-                assert!(p.verify(&root, &c[i]), "n={n} i={i}");
+                assert!(p.verify(&root, chunk), "n={n} i={i}");
             }
         }
     }

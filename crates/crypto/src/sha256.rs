@@ -53,7 +53,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Fresh hasher.
     pub fn new() -> Self {
-        Sha256 { state: H0, buf: [0u8; 64], buf_len: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buf: [0u8; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorb `data`.
@@ -195,7 +200,9 @@ mod tests {
     #[test]
     fn two_block_message() {
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }
@@ -235,7 +242,9 @@ mod tests {
     #[test]
     fn lengths_around_block_boundary() {
         // 55/56/57 and 63/64/65 exercise the padding edge cases.
-        for len in [0usize, 1, 55, 56, 57, 63, 64, 65, 119, 120, 121, 127, 128, 129] {
+        for len in [
+            0usize, 1, 55, 56, 57, 63, 64, 65, 119, 120, 121, 127, 128, 129,
+        ] {
             let data = vec![0xa5u8; len];
             let d1 = sha256(&data);
             let mut h = Sha256::new();

@@ -28,7 +28,11 @@ impl std::fmt::Debug for Matrix {
 impl Matrix {
     /// Zero matrix.
     pub fn zero(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -46,7 +50,10 @@ impl Matrix {
     /// points are linearly independent, which is the property the systematic
     /// RS construction needs.
     pub fn vandermonde(rows: usize, cols: usize) -> Matrix {
-        assert!(rows <= 256, "GF(2^8) supports at most 256 evaluation points");
+        assert!(
+            rows <= 256,
+            "GF(2^8) supports at most 256 evaluation points"
+        );
         let mut m = Matrix::zero(rows, cols);
         for r in 0..rows {
             for c in 0..cols {

@@ -75,7 +75,10 @@ impl ReedSolomon {
     /// tolerating `f` faults gives an `(N−2f, N)` code.
     pub fn for_cluster(n_nodes: usize, f: usize) -> Result<ReedSolomon, RsError> {
         if n_nodes < 3 * f + 1 {
-            return Err(RsError::BadParameters { k: n_nodes.saturating_sub(2 * f), n: n_nodes });
+            return Err(RsError::BadParameters {
+                k: n_nodes.saturating_sub(2 * f),
+                n: n_nodes,
+            });
         }
         ReedSolomon::new(n_nodes - 2 * f, n_nodes)
     }
@@ -121,8 +124,8 @@ impl ReedSolomon {
         }
         for r in self.k..self.n {
             let mut shard = vec![0u8; len];
-            for c in 0..self.k {
-                gf256::mul_acc_slice(&mut shard, data[c], self.enc.get(r, c));
+            for (c, d) in data.iter().enumerate() {
+                gf256::mul_acc_slice(&mut shard, d, self.enc.get(r, c));
             }
             out.push(shard);
         }
@@ -135,7 +138,10 @@ impl ReedSolomon {
     /// error surfaced as [`RsError::MalformedChunks`].
     pub fn reconstruct_data(&self, chunks: &[(usize, &[u8])]) -> Result<Vec<Vec<u8>>, RsError> {
         if chunks.len() < self.k {
-            return Err(RsError::NotEnoughChunks { have: chunks.len(), need: self.k });
+            return Err(RsError::NotEnoughChunks {
+                have: chunks.len(),
+                need: self.k,
+            });
         }
         let use_chunks = &chunks[..self.k];
         let len = use_chunks[0].1.len();
@@ -233,7 +239,10 @@ impl ChunkSet {
 
     /// Borrow the stored chunks as `(index, &bytes)` pairs.
     pub fn as_refs(&self) -> Vec<(usize, &[u8])> {
-        self.chunks.iter().map(|(i, b)| (*i, b.as_slice())).collect()
+        self.chunks
+            .iter()
+            .map(|(i, b)| (*i, b.as_slice()))
+            .collect()
     }
 }
 
@@ -265,8 +274,7 @@ mod tests {
         let rs = ReedSolomon::new(4, 10).unwrap();
         let block = sample_block(1000);
         let chunks = rs.encode_block(&block);
-        let subset: Vec<(usize, &[u8])> =
-            (0..4).map(|i| (i, chunks[i].as_slice())).collect();
+        let subset: Vec<(usize, &[u8])> = (0..4).map(|i| (i, chunks[i].as_slice())).collect();
         assert_eq!(rs.reconstruct_block(&subset).unwrap(), block);
     }
 
@@ -275,8 +283,7 @@ mod tests {
         let rs = ReedSolomon::new(4, 10).unwrap();
         let block = sample_block(777);
         let chunks = rs.encode_block(&block);
-        let subset: Vec<(usize, &[u8])> =
-            (6..10).map(|i| (i, chunks[i].as_slice())).collect();
+        let subset: Vec<(usize, &[u8])> = (6..10).map(|i| (i, chunks[i].as_slice())).collect();
         assert_eq!(rs.reconstruct_block(&subset).unwrap(), block);
     }
 
@@ -289,7 +296,11 @@ mod tests {
             let subset: Vec<(usize, &[u8])> = (start..start + 3)
                 .map(|i| (i, chunks[i].as_slice()))
                 .collect();
-            assert_eq!(rs.reconstruct_block(&subset).unwrap(), block, "start={start}");
+            assert_eq!(
+                rs.reconstruct_block(&subset).unwrap(),
+                block,
+                "start={start}"
+            );
         }
     }
 
@@ -312,8 +323,10 @@ mod tests {
         let rs = ReedSolomon::new(4, 13).unwrap();
         let chunks = rs.encode_block(&[]);
         assert!(chunks.iter().all(|c| c.len() == 1));
-        let subset: Vec<(usize, &[u8])> =
-            [2, 5, 11, 12].iter().map(|&i| (i, chunks[i].as_slice())).collect();
+        let subset: Vec<(usize, &[u8])> = [2, 5, 11, 12]
+            .iter()
+            .map(|&i| (i, chunks[i].as_slice()))
+            .collect();
         assert_eq!(rs.reconstruct_block(&subset).unwrap(), Vec::<u8>::new());
     }
 
@@ -322,8 +335,7 @@ mod tests {
         let rs = ReedSolomon::new(4, 10).unwrap();
         let block = sample_block(64);
         let chunks = rs.encode_block(&block);
-        let subset: Vec<(usize, &[u8])> =
-            (0..3).map(|i| (i, chunks[i].as_slice())).collect();
+        let subset: Vec<(usize, &[u8])> = (0..3).map(|i| (i, chunks[i].as_slice())).collect();
         assert_eq!(
             rs.reconstruct_block(&subset),
             Err(RsError::NotEnoughChunks { have: 3, need: 4 })
@@ -362,8 +374,11 @@ mod tests {
         // catches the inconsistency; here we only require no panic.
         let rs = ReedSolomon::new(3, 7).unwrap();
         let garbage: Vec<Vec<u8>> = (0..3).map(|i| vec![0xEE ^ i as u8; 16]).collect();
-        let subset: Vec<(usize, &[u8])> =
-            garbage.iter().enumerate().map(|(i, c)| (i + 4, c.as_slice())).collect();
+        let subset: Vec<(usize, &[u8])> = garbage
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i + 4, c.as_slice()))
+            .collect();
         let _ = rs.reconstruct_block(&subset);
     }
 
@@ -415,9 +430,8 @@ mod tests {
         let block = sample_block(10_000);
         let chunks = rs.encode_block(&block);
         // Take the *last* k chunks (all parity-heavy subset).
-        let subset: Vec<(usize, &[u8])> = (128 - 44..128)
-            .map(|i| (i, chunks[i].as_slice()))
-            .collect();
+        let subset: Vec<(usize, &[u8])> =
+            (128 - 44..128).map(|i| (i, chunks[i].as_slice())).collect();
         assert_eq!(rs.reconstruct_block(&subset).unwrap(), block);
     }
 }

@@ -1,0 +1,544 @@
+//! Discrete-event network driver for the DispersedLedger node engine.
+//!
+//! `dl-sim` runs a cluster of [`dl_core::Node`] automata over a simulated
+//! WAN: every ordered pair of nodes is connected by a [`LinkSpec`] with its
+//! own bandwidth and propagation latency, so the variable-bandwidth
+//! scenarios of the paper's §6 evaluation (one slow node, asymmetric links,
+//! …) can be reproduced deterministically and in virtual time.
+//!
+//! ## Link model
+//!
+//! Each directed link serializes messages: a message of `wire_size()` bytes
+//! occupies the link for `size / bandwidth` milliseconds, then arrives
+//! `latency` milliseconds later. Queued messages are sent in the two-class
+//! priority order of §5, encoded by [`TrafficClass`]: dispersal traffic
+//! (chunks and all agreement control messages) strictly before retrieval
+//! traffic, and retrieval traffic in epoch order — the rule that lets a
+//! node keep *voting* at full speed while it catches up on block downloads.
+//!
+//! ## Drivers and quiescence
+//!
+//! The simulator is a pure [`NodeEffect`] interpreter: `Send` becomes a
+//! link transmission, `WakeAt` schedules a future [`dl_core::Node::poll`],
+//! `Deliver`/`Stat` are recorded into the [`SimReport`]. Because the engine
+//! is quiescent-by-design (an idle cluster emits nothing), "the event heap
+//! drained" is exactly "the protocol finished all outstanding work", which
+//! is what [`Simulation::run_until_quiescent`] reports.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use dl_core::{
+    ByzantineBehavior, ByzantineNode, DeliveredBlock, Node, NodeConfig, NodeEffect, NodeStats,
+    ProtocolVariant, RealBlockCoder, StatEvent,
+};
+use dl_wire::{ClusterConfig, Envelope, NodeId, TrafficClass, Tx};
+
+/// Bandwidth and propagation delay of one directed link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// Propagation latency in milliseconds.
+    pub latency_ms: u64,
+    /// Bandwidth in bytes per millisecond (1250 = 10 Mbit/s).
+    pub bytes_per_ms: u64,
+}
+
+impl LinkSpec {
+    /// 10 Mbit/s with 20 ms one-way latency — a sane WAN default.
+    pub const WAN: LinkSpec = LinkSpec {
+        latency_ms: 20,
+        bytes_per_ms: 1250,
+    };
+
+    /// Transmission time of `bytes` on this link, at least 1 ms per
+    /// message so the event clock always advances.
+    fn tx_ms(&self, bytes: usize) -> u64 {
+        (bytes as u64).div_ceil(self.bytes_per_ms).max(1)
+    }
+}
+
+/// What occupies a cluster slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimNodeKind {
+    Honest,
+    /// Crashed node: receives and sends nothing.
+    Mute,
+    /// Equivocating disperser/voter (see [`dl_core::byzantine`]).
+    Equivocate,
+}
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    pub cluster: ClusterConfig,
+    pub variant: ProtocolVariant,
+    /// Applied to every directed link; override per link with
+    /// [`Simulation::set_link`].
+    pub default_link: LinkSpec,
+}
+
+impl SimConfig {
+    /// A cluster of `n` nodes running `variant` over default WAN links.
+    pub fn new(n: usize, variant: ProtocolVariant) -> SimConfig {
+        SimConfig {
+            cluster: ClusterConfig::new(n),
+            variant,
+            default_link: LinkSpec::WAN,
+        }
+    }
+}
+
+/// Outcome of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Virtual time when the run ended.
+    pub now_ms: u64,
+    /// True if the event heap drained (all protocol work finished) before
+    /// the deadline.
+    pub quiesced: bool,
+    /// Per node, every block it delivered, in delivery order. Byzantine
+    /// slots stay empty.
+    pub delivered: Vec<Vec<DeliveredBlock>>,
+    /// Per node, the engine counters (None for Byzantine slots).
+    pub stats: Vec<Option<NodeStats>>,
+    /// Stat events in emission order: `(when, who, event)`.
+    pub events: Vec<(u64, NodeId, StatEvent)>,
+}
+
+impl SimReport {
+    /// The transaction ids node `i` delivered, in total-order position.
+    pub fn tx_order(&self, node: usize) -> Vec<(NodeId, u64)> {
+        self.delivered[node]
+            .iter()
+            .filter_map(|d| d.block.as_ref())
+            .flat_map(|b| b.body.iter().map(Tx::id))
+            .collect()
+    }
+}
+
+enum SimNode {
+    Honest(Box<Node<RealBlockCoder>>),
+    Byzantine(Box<ByzantineNode<RealBlockCoder>>),
+    Mute,
+}
+
+/// A message waiting for its turn on a link, keyed by the §5 send priority.
+struct Queued {
+    class: TrafficClass,
+    seq: u64,
+    env: Envelope,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the *lowest* (class, seq) —
+        // dispersal first, then earliest-epoch retrieval, FIFO within a
+        // class — is popped first.
+        (other.class, other.seq).cmp(&(self.class, self.seq))
+    }
+}
+
+struct Link {
+    spec: LinkSpec,
+    busy_until: u64,
+    queue: BinaryHeap<Queued>,
+}
+
+enum EvKind {
+    Submit {
+        node: NodeId,
+        tx: Tx,
+    },
+    Poll {
+        node: NodeId,
+    },
+    Arrive {
+        from: NodeId,
+        to: NodeId,
+        env: Envelope,
+    },
+    /// The link finished a transmission; pump its queue.
+    LinkReady {
+        from: NodeId,
+        to: NodeId,
+    },
+}
+
+struct Ev {
+    at: u64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by (time, insertion order) under std's max-heap.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event run of one cluster.
+pub struct Simulation {
+    cfg: SimConfig,
+    nodes: Vec<SimNode>,
+    /// Row-major `n × n` directed links (the diagonal is unused: nodes
+    /// loop their own traffic back internally).
+    links: Vec<Link>,
+    events: BinaryHeap<Ev>,
+    seq: u64,
+    now: u64,
+    scheduled_polls: HashSet<(u64, u16)>,
+    delivered: Vec<Vec<DeliveredBlock>>,
+    stat_events: Vec<(u64, NodeId, StatEvent)>,
+}
+
+impl Simulation {
+    pub fn new(cfg: SimConfig) -> Simulation {
+        let n = cfg.cluster.n;
+        let node_cfg = NodeConfig::new(cfg.cluster.clone(), cfg.variant);
+        let nodes = (0..n)
+            .map(|i| {
+                SimNode::Honest(Box::new(Node::new(
+                    NodeId(i as u16),
+                    node_cfg.clone(),
+                    RealBlockCoder::new(&cfg.cluster),
+                )))
+            })
+            .collect();
+        let links = (0..n * n)
+            .map(|_| Link {
+                spec: cfg.default_link,
+                busy_until: 0,
+                queue: BinaryHeap::new(),
+            })
+            .collect();
+        Simulation {
+            cfg,
+            nodes,
+            links,
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            scheduled_polls: HashSet::new(),
+            delivered: vec![Vec::new(); n],
+            stat_events: Vec::new(),
+        }
+    }
+
+    /// Replace the slot of `node` with a faulty member. Call before the
+    /// first `run_until_quiescent`.
+    pub fn set_node_kind(&mut self, node: usize, kind: SimNodeKind) {
+        let node_cfg = NodeConfig::new(self.cfg.cluster.clone(), self.cfg.variant);
+        self.nodes[node] = match kind {
+            SimNodeKind::Honest => SimNode::Honest(Box::new(Node::new(
+                NodeId(node as u16),
+                node_cfg,
+                RealBlockCoder::new(&self.cfg.cluster),
+            ))),
+            SimNodeKind::Mute => SimNode::Mute,
+            SimNodeKind::Equivocate => SimNode::Byzantine(Box::new(ByzantineNode::new(
+                NodeId(node as u16),
+                node_cfg,
+                RealBlockCoder::new(&self.cfg.cluster),
+                ByzantineBehavior::Equivocate,
+            ))),
+        };
+    }
+
+    /// Override one directed link.
+    pub fn set_link(&mut self, from: usize, to: usize, spec: LinkSpec) {
+        self.links[from * self.cfg.cluster.n + to].spec = spec;
+    }
+
+    /// Give `node` a different uplink to every peer (the paper's
+    /// "one slow node" scenarios).
+    pub fn set_uplink(&mut self, node: usize, spec: LinkSpec) {
+        for to in 0..self.cfg.cluster.n {
+            if to != node {
+                self.set_link(node, to, spec);
+            }
+        }
+    }
+
+    /// Schedule a client transaction submission at `at_ms`.
+    pub fn submit_at(&mut self, node: usize, at_ms: u64, tx: Tx) {
+        self.push_event(
+            at_ms,
+            EvKind::Submit {
+                node: NodeId(node as u16),
+                tx,
+            },
+        );
+    }
+
+    /// Run until every event is processed or virtual time passes `max_ms`.
+    /// Hitting the deadline leaves the pending events (including the one
+    /// past the deadline) in place, so the run can be resumed with a later
+    /// deadline.
+    pub fn run_until_quiescent(&mut self, max_ms: u64) -> SimReport {
+        let mut quiesced = true;
+        loop {
+            match self.events.peek() {
+                None => break,
+                Some(ev) if ev.at > max_ms => {
+                    quiesced = false;
+                    break;
+                }
+                Some(_) => {}
+            }
+            let ev = self.events.pop().expect("peeked above");
+            self.now = self.now.max(ev.at);
+            match ev.kind {
+                EvKind::Submit { node, tx } => {
+                    let now = self.now;
+                    let effects = match &mut self.nodes[node.idx()] {
+                        SimNode::Honest(n) => n.submit_tx(tx, now),
+                        SimNode::Byzantine(b) => b.submit_tx(tx, now),
+                        SimNode::Mute => Vec::new(),
+                    };
+                    self.apply(node, effects);
+                }
+                EvKind::Poll { node } => {
+                    self.scheduled_polls.remove(&(ev.at, node.0));
+                    let now = self.now;
+                    let effects = match &mut self.nodes[node.idx()] {
+                        SimNode::Honest(n) => n.poll(now),
+                        SimNode::Byzantine(b) => b.poll(now),
+                        SimNode::Mute => Vec::new(),
+                    };
+                    self.apply(node, effects);
+                }
+                EvKind::Arrive { from, to, env } => {
+                    let now = self.now;
+                    let effects = match &mut self.nodes[to.idx()] {
+                        SimNode::Honest(n) => n.handle(from, env, now),
+                        SimNode::Byzantine(b) => b.handle(from, env, now),
+                        SimNode::Mute => Vec::new(),
+                    };
+                    self.apply(to, effects);
+                }
+                EvKind::LinkReady { from, to } => self.pump_link(from, to),
+            }
+        }
+        SimReport {
+            now_ms: self.now,
+            quiesced,
+            delivered: self.delivered.clone(),
+            stats: self
+                .nodes
+                .iter()
+                .map(|n| match n {
+                    SimNode::Honest(n) => Some(*n.stats()),
+                    _ => None,
+                })
+                .collect(),
+            events: self.stat_events.clone(),
+        }
+    }
+
+    /// Virtual time of the last processed event.
+    pub fn now_ms(&self) -> u64 {
+        self.now
+    }
+
+    fn apply(&mut self, from: NodeId, effects: Vec<NodeEffect>) {
+        for eff in effects {
+            match eff {
+                NodeEffect::Send(to, env) => self.send(from, to, env),
+                NodeEffect::Deliver(d) => self.delivered[from.idx()].push(d),
+                NodeEffect::WakeAt(at) => {
+                    let at = at.max(self.now + 1);
+                    if self.scheduled_polls.insert((at, from.0)) {
+                        self.push_event(at, EvKind::Poll { node: from });
+                    }
+                }
+                NodeEffect::Stat(s) => self.stat_events.push((self.now, from, s)),
+            }
+        }
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, env: Envelope) {
+        assert_ne!(from, to, "nodes must loop self-traffic back internally");
+        let seq = self.seq;
+        self.seq += 1;
+        let link = &mut self.links[from.idx() * self.cfg.cluster.n + to.idx()];
+        link.queue.push(Queued {
+            class: env.class(),
+            seq,
+            env,
+        });
+        self.pump_link(from, to);
+    }
+
+    /// Start the next transmission on the link if it is idle.
+    fn pump_link(&mut self, from: NodeId, to: NodeId) {
+        let now = self.now;
+        let link = &mut self.links[from.idx() * self.cfg.cluster.n + to.idx()];
+        if link.busy_until > now {
+            return; // a LinkReady event will re-pump
+        }
+        let Some(q) = link.queue.pop() else { return };
+        let tx_ms = link.spec.tx_ms(q.env.wire_size());
+        let latency = link.spec.latency_ms;
+        link.busy_until = now + tx_ms;
+        self.push_event(now + tx_ms, EvKind::LinkReady { from, to });
+        self.push_event(
+            now + tx_ms + latency,
+            EvKind::Arrive {
+                from,
+                to,
+                env: q.env,
+            },
+        );
+    }
+
+    fn push_event(&mut self, at: u64, kind: EvKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Ev { at, seq, kind });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_wire::{Epoch, VidMsg};
+
+    fn hash() -> dl_crypto::Hash {
+        dl_crypto::Hash::digest(b"x")
+    }
+
+    #[test]
+    fn event_order_is_time_then_fifo() {
+        let mut heap: BinaryHeap<Ev> = BinaryHeap::new();
+        heap.push(Ev {
+            at: 10,
+            seq: 1,
+            kind: EvKind::Poll { node: NodeId(0) },
+        });
+        heap.push(Ev {
+            at: 5,
+            seq: 2,
+            kind: EvKind::Poll { node: NodeId(1) },
+        });
+        heap.push(Ev {
+            at: 5,
+            seq: 0,
+            kind: EvKind::Poll { node: NodeId(2) },
+        });
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.at, e.seq))
+            .collect();
+        assert_eq!(order, vec![(5, 0), (5, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn link_queue_prioritizes_dispersal_then_epoch_order() {
+        let mut q: BinaryHeap<Queued> = BinaryHeap::new();
+        let ret = |e: u64, seq: u64| Queued {
+            class: TrafficClass::Retrieval(Epoch(e)),
+            seq,
+            env: Envelope::vid(Epoch(e), NodeId(0), VidMsg::RequestChunk),
+        };
+        let disp = |seq: u64| Queued {
+            class: TrafficClass::Dispersal,
+            seq,
+            env: Envelope::vid(Epoch(1), NodeId(0), VidMsg::GotChunk { root: hash() }),
+        };
+        q.push(ret(7, 0));
+        q.push(ret(2, 1));
+        q.push(disp(2));
+        q.push(disp(3));
+        let order: Vec<TrafficClass> = std::iter::from_fn(|| q.pop()).map(|i| i.class).collect();
+        assert_eq!(
+            order,
+            vec![
+                TrafficClass::Dispersal,
+                TrafficClass::Dispersal,
+                TrafficClass::Retrieval(Epoch(2)),
+                TrafficClass::Retrieval(Epoch(7)),
+            ]
+        );
+    }
+
+    #[test]
+    fn transmission_time_charges_bytes() {
+        let spec = LinkSpec {
+            latency_ms: 5,
+            bytes_per_ms: 100,
+        };
+        assert_eq!(spec.tx_ms(1), 1);
+        assert_eq!(spec.tx_ms(100), 1);
+        assert_eq!(spec.tx_ms(101), 2);
+        assert_eq!(spec.tx_ms(1000), 10);
+    }
+
+    #[test]
+    fn idle_cluster_quiesces_immediately() {
+        let mut sim = Simulation::new(SimConfig::new(4, ProtocolVariant::Dl));
+        let report = sim.run_until_quiescent(10_000);
+        assert!(report.quiesced);
+        assert_eq!(report.now_ms, 0);
+        assert!(report.delivered.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn deadline_preserves_pending_events_for_resume() {
+        let mut sim = Simulation::new(SimConfig::new(4, ProtocolVariant::Dl));
+        sim.submit_at(0, 0, Tx::synthetic(NodeId(0), 0, 0, 256));
+        // Stop mid-protocol: the Nagle delay alone is 100 ms, so nothing
+        // can have delivered yet and events must be pending.
+        let partial = sim.run_until_quiescent(150);
+        assert!(!partial.quiesced);
+        assert_eq!(partial.stats[0].unwrap().txs_delivered, 0);
+        // Resuming with a later deadline must finish the run: no event
+        // (e.g. an in-flight chunk) was lost at the deadline.
+        let full = sim.run_until_quiescent(120_000);
+        assert!(full.quiesced, "resumed run did not finish");
+        for i in 0..4 {
+            assert_eq!(full.stats[i].unwrap().txs_delivered, 1, "node {i}");
+        }
+    }
+
+    #[test]
+    fn single_tx_roundtrip() {
+        let mut sim = Simulation::new(SimConfig::new(4, ProtocolVariant::Dl));
+        sim.submit_at(0, 0, Tx::synthetic(NodeId(0), 0, 0, 256));
+        let report = sim.run_until_quiescent(120_000);
+        assert!(report.quiesced, "simulation did not quiesce");
+        for i in 0..4 {
+            assert_eq!(report.stats[i].unwrap().txs_delivered, 1, "node {i}");
+        }
+        // Confirmation latency is sane: at least one network round trip
+        // past the Nagle delay, and well under the deadline.
+        let delivered_at = report.delivered[0]
+            .iter()
+            .find(|d| d.block.as_ref().is_some_and(|b| !b.body.is_empty()))
+            .unwrap()
+            .delivered_ms;
+        assert!(delivered_at >= 100 + 2 * LinkSpec::WAN.latency_ms);
+        assert!(delivered_at < 10_000, "took {delivered_at} ms");
+    }
+}

@@ -1,0 +1,166 @@
+//! Cluster-level integration tests: run 4–7 node clusters of every
+//! [`ProtocolVariant`] over the discrete-event WAN to quiescence and check
+//! the BFT service properties — every honest node delivers every submitted
+//! transaction, in the same total order.
+
+use dl_core::ProtocolVariant;
+use dl_sim::{LinkSpec, SimConfig, SimNodeKind, Simulation};
+use dl_wire::{NodeId, Tx};
+
+const ALL_VARIANTS: [ProtocolVariant; 4] = [
+    ProtocolVariant::Dl,
+    ProtocolVariant::DlCoupled,
+    ProtocolVariant::HoneyBadger,
+    ProtocolVariant::HoneyBadgerLink,
+];
+
+/// Submit `per_node` transactions at each node in `submitters`, staggered
+/// over the first second of virtual time.
+fn submit_workload(sim: &mut Simulation, submitters: &[usize], per_node: u64) {
+    for &i in submitters {
+        for s in 0..per_node {
+            sim.submit_at(
+                i,
+                40 * s + 10 * i as u64,
+                Tx::synthetic(NodeId(i as u16), s, 0, 300),
+            );
+        }
+    }
+}
+
+/// Assert every node in `honest` delivered exactly `expected` transactions
+/// and that all delivery orders are identical (agreement + total order).
+fn assert_total_order(report: &dl_sim::SimReport, honest: &[usize], expected: usize) {
+    let reference = report.tx_order(honest[0]);
+    assert_eq!(
+        reference.len(),
+        expected,
+        "node {} delivered {} of {expected} txs",
+        honest[0],
+        reference.len()
+    );
+    // No duplicates: a tx id appears exactly once in the total order.
+    let mut dedup = reference.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(
+        dedup.len(),
+        expected,
+        "duplicate deliveries at node {}",
+        honest[0]
+    );
+    for &i in &honest[1..] {
+        assert_eq!(
+            report.tx_order(i),
+            reference,
+            "node {i} diverged from node {}",
+            honest[0]
+        );
+    }
+}
+
+#[test]
+fn four_node_cluster_reaches_total_order_under_every_variant() {
+    for variant in ALL_VARIANTS {
+        let mut sim = Simulation::new(SimConfig::new(4, variant));
+        submit_workload(&mut sim, &[0, 1, 2, 3], 3);
+        let report = sim.run_until_quiescent(600_000);
+        assert!(report.quiesced, "{variant:?}: did not quiesce");
+        assert_total_order(&report, &[0, 1, 2, 3], 12);
+        for i in 0..4 {
+            let stats = report.stats[i].unwrap();
+            assert_eq!(stats.txs_delivered, 12, "{variant:?} node {i}");
+        }
+    }
+}
+
+#[test]
+fn dl_variant_tolerates_a_mute_node() {
+    let mut sim = Simulation::new(SimConfig::new(4, ProtocolVariant::Dl));
+    sim.set_node_kind(3, SimNodeKind::Mute);
+    submit_workload(&mut sim, &[0, 1, 2], 3);
+    let report = sim.run_until_quiescent(600_000);
+    assert!(report.quiesced, "mute node broke liveness");
+    assert_total_order(&report, &[0, 1, 2], 9);
+}
+
+#[test]
+fn every_variant_tolerates_a_mute_node() {
+    for variant in ALL_VARIANTS {
+        let mut sim = Simulation::new(SimConfig::new(4, variant));
+        sim.set_node_kind(1, SimNodeKind::Mute);
+        submit_workload(&mut sim, &[0, 2], 2);
+        let report = sim.run_until_quiescent(600_000);
+        assert!(report.quiesced, "{variant:?}: mute node broke liveness");
+        assert_total_order(&report, &[0, 2, 3], 4);
+    }
+}
+
+#[test]
+fn dl_variant_tolerates_an_equivocating_node() {
+    let mut sim = Simulation::new(SimConfig::new(4, ProtocolVariant::Dl));
+    sim.set_node_kind(2, SimNodeKind::Equivocate);
+    submit_workload(&mut sim, &[0, 1, 3], 2);
+    let report = sim.run_until_quiescent(600_000);
+    assert!(report.quiesced, "equivocator broke liveness");
+    assert_total_order(&report, &[0, 1, 3], 6);
+    // The equivocator's split dispersals must never complete, so no slot of
+    // its block is ever delivered — not even as a Byzantine `None` slot.
+    for &i in &[0usize, 1, 3] {
+        assert_eq!(
+            report.stats[i].unwrap().malformed_blocks_delivered,
+            0,
+            "node {i}"
+        );
+        assert!(
+            report.delivered[i].iter().all(|d| d.proposer != NodeId(2)),
+            "node {i}"
+        );
+    }
+}
+
+#[test]
+fn slow_uplink_does_not_block_the_cluster() {
+    // One node with a 100x slower uplink: the paper's headline scenario.
+    // The cluster must still commit and deliver everything submitted at the
+    // fast nodes, and the slow node must eventually catch up too.
+    let mut sim = Simulation::new(SimConfig::new(4, ProtocolVariant::Dl));
+    sim.set_uplink(
+        3,
+        LinkSpec {
+            latency_ms: 40,
+            bytes_per_ms: 12,
+        },
+    );
+    submit_workload(&mut sim, &[0, 1, 2], 3);
+    let report = sim.run_until_quiescent(3_000_000);
+    assert!(report.quiesced, "slow uplink broke liveness");
+    assert_total_order(&report, &[0, 1, 2, 3], 9);
+}
+
+#[test]
+fn seven_node_cluster_smoke() {
+    let mut sim = Simulation::new(SimConfig::new(7, ProtocolVariant::Dl));
+    submit_workload(&mut sim, &[0, 3, 5], 2);
+    let report = sim.run_until_quiescent(600_000);
+    assert!(report.quiesced);
+    assert_total_order(&report, &[0, 1, 2, 3, 4, 5, 6], 6);
+}
+
+#[test]
+fn report_exposes_proposal_and_epoch_events() {
+    let mut sim = Simulation::new(SimConfig::new(4, ProtocolVariant::Dl));
+    sim.submit_at(0, 0, Tx::synthetic(NodeId(0), 0, 0, 128));
+    let report = sim.run_until_quiescent(600_000);
+    assert!(report.quiesced);
+    use dl_core::StatEvent;
+    assert!(report
+        .events
+        .iter()
+        .any(|(_, who, e)| *who == NodeId(0)
+            && matches!(e, StatEvent::Proposed { empty: false, .. })));
+    assert!(report
+        .events
+        .iter()
+        .any(|(_, _, e)| matches!(e, StatEvent::EpochDelivered { .. })));
+}

@@ -118,7 +118,10 @@ impl Coder for RealCoder {
             .into_iter()
             .enumerate()
             .map(|(i, c)| {
-                (ChunkPayload::Real(bytes::Bytes::from(c)), tree.prove(i as u32))
+                (
+                    ChunkPayload::Real(bytes::Bytes::from(c)),
+                    tree.prove(i as u32),
+                )
             })
             .collect();
         EncodedBlock { root, chunks }
@@ -186,7 +189,11 @@ impl Disperser {
             .map(|(i, (payload, proof))| {
                 VidEffect::Send(
                     NodeId(i as u16),
-                    VidMsg::Chunk { root: encoded.root, proof, payload },
+                    VidMsg::Chunk {
+                        root: encoded.root,
+                        proof,
+                        payload,
+                    },
                 )
             })
             .collect()
@@ -243,9 +250,11 @@ impl<C: Coder> VidServer<C> {
     pub fn handle(&mut self, coder: &C, from: NodeId, msg: VidMsg) -> Vec<VidEffect<C::Block>> {
         let mut out = Vec::new();
         match msg {
-            VidMsg::Chunk { root, proof, payload } => {
-                self.on_chunk(coder, root, proof, payload, &mut out)
-            }
+            VidMsg::Chunk {
+                root,
+                proof,
+                payload,
+            } => self.on_chunk(coder, root, proof, payload, &mut out),
             VidMsg::GotChunk { root } => self.on_got_chunk(from, root, &mut out),
             VidMsg::Ready { root } => self.on_ready(from, root, &mut out),
             VidMsg::RequestChunk => self.on_request(from, &mut out),
@@ -324,8 +333,12 @@ impl<C: Coder> VidServer<C> {
     /// Serve deferred requests once `MyRoot == ChunkRoot` holds (Fig. 4
     /// server side).
     fn flush_pending(&mut self, out: &mut Vec<VidEffect<C::Block>>) {
-        let Some(complete_root) = self.complete_root else { return };
-        let Some((my_root, payload, proof)) = &self.my_chunk else { return };
+        let Some(complete_root) = self.complete_root else {
+            return;
+        };
+        let Some((my_root, payload, proof)) = &self.my_chunk else {
+            return;
+        };
         if *my_root != complete_root {
             return; // our chunk is under a different root; we cannot serve
         }
@@ -342,7 +355,7 @@ impl<C: Coder> VidServer<C> {
     }
 }
 
-fn entry<'a>(list: &'a mut Vec<(Hash, NodeSet)>, root: Hash) -> &'a mut NodeSet {
+fn entry(list: &mut Vec<(Hash, NodeSet)>, root: Hash) -> &mut NodeSet {
     if let Some(pos) = list.iter().position(|(r, _)| *r == root) {
         return &mut list[pos].1;
     }
@@ -385,7 +398,12 @@ impl<C: Coder> Retriever<C> {
         if self.result.is_some() {
             return out; // already done
         }
-        let VidMsg::ReturnChunk { root, proof, payload } = msg else {
+        let VidMsg::ReturnChunk {
+            root,
+            proof,
+            payload,
+        } = msg
+        else {
             return out;
         };
         // Fig. 4 client step 1: the i-th server must return the i-th chunk.
@@ -418,10 +436,10 @@ impl<C: Coder> Retriever<C> {
     }
 }
 
-fn entry_chunks<'a>(
-    list: &'a mut Vec<(Hash, Vec<(u32, ChunkPayload)>)>,
+fn entry_chunks(
+    list: &mut Vec<(Hash, Vec<(u32, ChunkPayload)>)>,
     root: Hash,
-) -> &'a mut Vec<(u32, ChunkPayload)> {
+) -> &mut Vec<(u32, ChunkPayload)> {
     if let Some(pos) = list.iter().position(|(r, _)| *r == root) {
         return &mut list[pos].1;
     }

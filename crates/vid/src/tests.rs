@@ -26,7 +26,9 @@ impl Net {
         Net {
             n,
             coder: RealCoder::new(n, f),
-            servers: (0..n).map(|i| VidServer::new(NodeId(i as u16), n, f)).collect(),
+            servers: (0..n)
+                .map(|i| VidServer::new(NodeId(i as u16), n, f))
+                .collect(),
             crashed: vec![false; n],
             pool: Vec::new(),
             completes: vec![None; n],
@@ -59,7 +61,11 @@ impl Net {
             self.pool.push((
                 from,
                 NodeId(i as u16),
-                VidMsg::Chunk { root, proof, payload },
+                VidMsg::Chunk {
+                    root,
+                    proof,
+                    payload,
+                },
             ));
         }
     }
@@ -77,16 +83,14 @@ impl Net {
         let _ = k;
         let tree = dl_crypto::MerkleTree::build(&garbage);
         let root = tree.root();
-        for i in 0..self.n {
+        for (i, chunk) in garbage.iter().enumerate() {
             self.pool.push((
                 from,
                 NodeId(i as u16),
                 VidMsg::Chunk {
                     root,
                     proof: tree.prove(i as u32),
-                    payload: dl_wire::ChunkPayload::Real(bytes::Bytes::from(
-                        garbage[i].clone(),
-                    )),
+                    payload: dl_wire::ChunkPayload::Real(bytes::Bytes::from(chunk.clone())),
                 },
             ));
         }
@@ -113,7 +117,8 @@ impl Net {
                 }
                 VidEffect::Broadcast(msg) => {
                     for to in 0..self.n {
-                        self.pool.push((NodeId(server as u16), NodeId(to as u16), msg.clone()));
+                        self.pool
+                            .push((NodeId(server as u16), NodeId(to as u16), msg.clone()));
                     }
                 }
                 VidEffect::Complete(root) => {
@@ -216,7 +221,11 @@ fn retrieval_returns_dispersed_block() {
         let c = net.client_id(0);
         net.start_retrieval(c);
         net.run();
-        assert_eq!(net.results[0], Some(Retrieved::Block(b.clone())), "seed {seed}");
+        assert_eq!(
+            net.results[0],
+            Some(Retrieved::Block(b.clone())),
+            "seed {seed}"
+        );
     }
 }
 
@@ -238,7 +247,11 @@ fn retrieval_succeeds_with_only_n_minus_2f_responders() {
         let c = net.client_id(0);
         net.start_retrieval(c);
         net.run();
-        assert_eq!(net.results[0], Some(Retrieved::Block(b.clone())), "seed {seed}");
+        assert_eq!(
+            net.results[0],
+            Some(Retrieved::Block(b.clone())),
+            "seed {seed}"
+        );
     }
 }
 
@@ -314,9 +327,16 @@ fn forged_proofs_rejected() {
     let effs = server.handle(
         &coder,
         NodeId(0),
-        VidMsg::Chunk { root: enc.root, proof, payload },
+        VidMsg::Chunk {
+            root: enc.root,
+            proof,
+            payload,
+        },
     );
-    assert!(effs.is_empty(), "server must ignore a chunk that is not its own");
+    assert!(
+        effs.is_empty(),
+        "server must ignore a chunk that is not its own"
+    );
     // Corrupted payload under a valid proof.
     let (payload, proof) = enc.chunks[1].clone();
     let bad_payload = match payload {
@@ -330,7 +350,11 @@ fn forged_proofs_rejected() {
     let effs = server.handle(
         &coder,
         NodeId(0),
-        VidMsg::Chunk { root: enc.root, proof, payload: bad_payload },
+        VidMsg::Chunk {
+            root: enc.root,
+            proof,
+            payload: bad_payload,
+        },
     );
     assert!(effs.is_empty());
     assert!(server.completed().is_none());
@@ -414,7 +438,15 @@ fn cancel_clears_pending_request() {
     // Complete the dispersal; the canceled request must not be served.
     let enc = coder.encode(&block(64));
     let (payload, proof) = enc.chunks[1].clone();
-    let _ = server.handle(&coder, NodeId(0), VidMsg::Chunk { root: enc.root, proof, payload });
+    let _ = server.handle(
+        &coder,
+        NodeId(0),
+        VidMsg::Chunk {
+            root: enc.root,
+            proof,
+            payload,
+        },
+    );
     let mut effects = Vec::new();
     for i in [0u16, 2, 3] {
         effects.extend(server.handle(&coder, NodeId(i), VidMsg::Ready { root: enc.root }));
@@ -439,7 +471,9 @@ fn retriever_groups_by_root() {
     let (mut retr, _) = Retriever::<RealCoder>::start(n, false);
 
     // Bogus root from server 0 (self-consistent Merkle tree over garbage).
-    let garbage: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; enc.chunks[0].0.chunk_len()]).collect();
+    let garbage: Vec<Vec<u8>> = (0..n)
+        .map(|i| vec![i as u8; enc.chunks[0].0.chunk_len()])
+        .collect();
     let gt = dl_crypto::MerkleTree::build(&garbage);
     let effs = retr.handle(
         &coder,
@@ -458,10 +492,16 @@ fn retriever_groups_by_root() {
         let effs = retr.handle(
             &coder,
             NodeId(i as u16),
-            VidMsg::ReturnChunk { root: enc.root, proof, payload },
+            VidMsg::ReturnChunk {
+                root: enc.root,
+                proof,
+                payload,
+            },
         );
         if i == 2 {
-            assert!(effs.iter().any(|e| matches!(e, VidEffect::Retrieved(Retrieved::Block(got)) if *got == b)));
+            assert!(effs
+                .iter()
+                .any(|e| matches!(e, VidEffect::Retrieved(Retrieved::Block(got)) if *got == b)));
         }
     }
 }

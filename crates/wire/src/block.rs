@@ -52,7 +52,12 @@ impl TxPayload {
 impl Tx {
     /// A synthetic transaction of `len` payload bytes.
     pub fn synthetic(origin: NodeId, seq: u64, submit_ms: u64, len: u32) -> Tx {
-        Tx { origin, seq, submit_ms, payload: TxPayload::Synthetic { len } }
+        Tx {
+            origin,
+            seq,
+            submit_ms,
+            payload: TxPayload::Synthetic { len },
+        }
     }
 
     /// Globally unique id.
@@ -74,7 +79,7 @@ impl WireEncode for Tx {
             TxPayload::Synthetic { len } => {
                 buf.push(1);
                 len.encode(buf);
-                buf.extend(std::iter::repeat(0u8).take(*len as usize));
+                buf.extend(std::iter::repeat_n(0u8, *len as usize));
             }
         }
     }
@@ -97,7 +102,12 @@ impl WireDecode for Tx {
             }
             _ => return Err(CodecError::InvalidValue("tx payload tag")),
         };
-        Ok(Tx { origin, seq, submit_ms, payload })
+        Ok(Tx {
+            origin,
+            seq,
+            submit_ms,
+            payload,
+        })
     }
 }
 
@@ -127,7 +137,11 @@ impl WireDecode for BlockHeader {
         let epoch = Epoch(read_u64(buf)?);
         let proposer = NodeId(read_u16(buf)?);
         let v_array = Vec::<u64>::decode(buf)?;
-        Ok(BlockHeader { epoch, proposer, v_array })
+        Ok(BlockHeader {
+            epoch,
+            proposer,
+            v_array,
+        })
     }
 }
 
@@ -145,7 +159,14 @@ impl Block {
     /// An empty block (used by DL-Coupled when a node lags on retrieval and
     /// must not propose new transactions; §4.5 "Spam transactions").
     pub fn empty(epoch: Epoch, proposer: NodeId, v_array: Vec<u64>) -> Block {
-        Block { header: BlockHeader { epoch, proposer, v_array }, body: Vec::new() }
+        Block {
+            header: BlockHeader {
+                epoch,
+                proposer,
+                v_array,
+            },
+            body: Vec::new(),
+        }
     }
 
     /// Sum of transaction payload lengths (the "useful" bytes for
@@ -235,8 +256,16 @@ mod tests {
     #[test]
     fn header_size_scales_with_n() {
         // V array costs 8 bytes per node — the price of inter-node linking.
-        let h4 = BlockHeader { epoch: Epoch(1), proposer: NodeId(0), v_array: vec![0; 4] };
-        let h128 = BlockHeader { epoch: Epoch(1), proposer: NodeId(0), v_array: vec![0; 128] };
+        let h4 = BlockHeader {
+            epoch: Epoch(1),
+            proposer: NodeId(0),
+            v_array: vec![0; 4],
+        };
+        let h128 = BlockHeader {
+            epoch: Epoch(1),
+            proposer: NodeId(0),
+            v_array: vec![0; 128],
+        };
         assert_eq!(h128.encoded_len() - h4.encoded_len(), 8 * 124);
     }
 

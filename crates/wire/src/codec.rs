@@ -262,7 +262,11 @@ impl WireDecode for MerkleProof {
         for _ in 0..path_len {
             path.push(Hash::decode(buf)?);
         }
-        Ok(MerkleProof { index, leaf_count, path })
+        Ok(MerkleProof {
+            index,
+            leaf_count,
+            path,
+        })
     }
 }
 
@@ -314,7 +318,10 @@ mod tests {
     fn short_buffer_is_error() {
         let h = Hash::digest(b"x");
         let bytes = h.to_bytes();
-        assert_eq!(Hash::from_bytes(&bytes[..31]), Err(CodecError::UnexpectedEnd));
+        assert_eq!(
+            Hash::from_bytes(&bytes[..31]),
+            Err(CodecError::UnexpectedEnd)
+        );
     }
 
     #[test]
@@ -326,7 +333,10 @@ mod tests {
 
     #[test]
     fn bad_bool_rejected() {
-        assert_eq!(bool::from_bytes(&[2]), Err(CodecError::InvalidValue("bool")));
+        assert_eq!(
+            bool::from_bytes(&[2]),
+            Err(CodecError::InvalidValue("bool"))
+        );
     }
 
     #[test]

@@ -1,12 +1,10 @@
 //! Cluster parameters and basic identifiers.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a node (server) in the cluster, in `0..N`.
 ///
 /// The paper numbers nodes 1..N; we use 0-based indices throughout and only
 /// the documentation refers to the paper's 1-based convention.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u16);
 
 impl NodeId {
@@ -37,9 +35,7 @@ impl std::fmt::Display for NodeId {
 
 /// Epoch number, 1-based as in the paper (Fig. 17). `Epoch(0)` is the
 /// "before any epoch" sentinel used in `V` arrays.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
 pub struct Epoch(pub u64);
 
 impl Epoch {
@@ -64,7 +60,7 @@ impl std::fmt::Display for Epoch {
 }
 
 /// Static cluster configuration, public knowledge at every node (§2.4).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ClusterConfig {
     /// Number of nodes `N`.
     pub n: usize,
@@ -79,13 +75,21 @@ impl ClusterConfig {
     /// Cluster of `n` nodes with the maximum tolerable `f = ⌊(n−1)/3⌋`.
     pub fn new(n: usize) -> ClusterConfig {
         assert!(n >= 4, "BFT needs at least 4 nodes");
-        ClusterConfig { n, f: (n - 1) / 3, coin_seed: [0x42; 32] }
+        ClusterConfig {
+            n,
+            f: (n - 1) / 3,
+            coin_seed: [0x42; 32],
+        }
     }
 
     /// Cluster with an explicit `f`. Panics unless `n ≥ 3f + 1`.
     pub fn with_f(n: usize, f: usize) -> ClusterConfig {
         assert!(n >= 3 * f + 1, "need N >= 3f+1 (got N={n}, f={f})");
-        ClusterConfig { n, f, coin_seed: [0x42; 32] }
+        ClusterConfig {
+            n,
+            f,
+            coin_seed: [0x42; 32],
+        }
     }
 
     /// Quorum that guarantees a majority of correct nodes behind it: `N − f`.

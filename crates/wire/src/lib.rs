@@ -19,5 +19,5 @@ pub mod nodeset;
 pub use block::{Block, BlockBody, BlockHeader, Tx};
 pub use codec::{CodecError, WireDecode, WireEncode};
 pub use config::{ClusterConfig, Epoch, NodeId};
-pub use nodeset::NodeSet;
 pub use msg::{BaMsg, ChunkPayload, Envelope, ProtoMsg, TrafficClass, VidMsg, FRAME_OVERHEAD};
+pub use nodeset::NodeSet;

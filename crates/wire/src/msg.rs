@@ -56,7 +56,7 @@ impl WireEncode for ChunkPayload {
             ChunkPayload::Synthetic { len } => {
                 buf.push(1);
                 len.encode(buf);
-                buf.extend(std::iter::repeat(0u8).take(*len as usize));
+                buf.extend(std::iter::repeat_n(0u8, *len as usize));
             }
         }
     }
@@ -84,7 +84,11 @@ impl WireDecode for ChunkPayload {
 pub enum VidMsg {
     /// Disperser → server `i`: the `i`-th chunk under root `r` plus its
     /// Merkle inclusion proof (Fig. 3, client step 3).
-    Chunk { root: Hash, proof: MerkleProof, payload: ChunkPayload },
+    Chunk {
+        root: Hash,
+        proof: MerkleProof,
+        payload: ChunkPayload,
+    },
     /// Server broadcast: "I hold my chunk under root `r`".
     GotChunk { root: Hash },
     /// Server broadcast: ready to complete dispersal of root `r`.
@@ -92,7 +96,11 @@ pub enum VidMsg {
     /// Retriever → servers: please send your chunk (Fig. 4).
     RequestChunk,
     /// Server → retriever: chunk + proof under the completed root.
-    ReturnChunk { root: Hash, proof: MerkleProof, payload: ChunkPayload },
+    ReturnChunk {
+        root: Hash,
+        proof: MerkleProof,
+        payload: ChunkPayload,
+    },
     /// Retriever → servers: block decoded, stop sending chunks. This is the
     /// §6.3 optimization ("a node notifies others when it has decoded a
     /// block"); it can be disabled in configuration.
@@ -116,8 +124,16 @@ impl WireEncode for VidMsg {
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.push(self.tag());
         match self {
-            VidMsg::Chunk { root, proof, payload }
-            | VidMsg::ReturnChunk { root, proof, payload } => {
+            VidMsg::Chunk {
+                root,
+                proof,
+                payload,
+            }
+            | VidMsg::ReturnChunk {
+                root,
+                proof,
+                payload,
+            } => {
                 root.encode(buf);
                 proof.encode(buf);
                 payload.encode(buf);
@@ -128,10 +144,16 @@ impl WireEncode for VidMsg {
     }
     fn encoded_len(&self) -> usize {
         1 + match self {
-            VidMsg::Chunk { root, proof, payload }
-            | VidMsg::ReturnChunk { root, proof, payload } => {
-                root.encoded_len() + proof.encoded_len() + payload.encoded_len()
+            VidMsg::Chunk {
+                root,
+                proof,
+                payload,
             }
+            | VidMsg::ReturnChunk {
+                root,
+                proof,
+                payload,
+            } => root.encoded_len() + proof.encoded_len() + payload.encoded_len(),
             VidMsg::GotChunk { root } | VidMsg::Ready { root } => root.encoded_len(),
             VidMsg::RequestChunk | VidMsg::Cancel => 0,
         }
@@ -147,13 +169,25 @@ impl WireDecode for VidMsg {
                 let proof = MerkleProof::decode(buf)?;
                 let payload = ChunkPayload::decode(buf)?;
                 if tag == 0 {
-                    VidMsg::Chunk { root, proof, payload }
+                    VidMsg::Chunk {
+                        root,
+                        proof,
+                        payload,
+                    }
                 } else {
-                    VidMsg::ReturnChunk { root, proof, payload }
+                    VidMsg::ReturnChunk {
+                        root,
+                        proof,
+                        payload,
+                    }
                 }
             }
-            1 => VidMsg::GotChunk { root: Hash::decode(buf)? },
-            2 => VidMsg::Ready { root: Hash::decode(buf)? },
+            1 => VidMsg::GotChunk {
+                root: Hash::decode(buf)?,
+            },
+            2 => VidMsg::Ready {
+                root: Hash::decode(buf)?,
+            },
             3 => VidMsg::RequestChunk,
             5 => VidMsg::Cancel,
             _ => return Err(CodecError::InvalidValue("vid message tag")),
@@ -203,9 +237,17 @@ impl WireEncode for BaMsg {
 impl WireDecode for BaMsg {
     fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
         Ok(match read_u8(buf)? {
-            0 => BaMsg::BVal { round: read_u16(buf)?, value: crate::codec::read_bool(buf)? },
-            1 => BaMsg::Aux { round: read_u16(buf)?, value: crate::codec::read_bool(buf)? },
-            2 => BaMsg::Term { value: crate::codec::read_bool(buf)? },
+            0 => BaMsg::BVal {
+                round: read_u16(buf)?,
+                value: crate::codec::read_bool(buf)?,
+            },
+            1 => BaMsg::Aux {
+                round: read_u16(buf)?,
+                value: crate::codec::read_bool(buf)?,
+            },
+            2 => BaMsg::Term {
+                value: crate::codec::read_bool(buf)?,
+            },
             _ => return Err(CodecError::InvalidValue("ba message tag")),
         })
     }
@@ -262,11 +304,19 @@ pub struct Envelope {
 
 impl Envelope {
     pub fn vid(epoch: Epoch, index: NodeId, msg: VidMsg) -> Envelope {
-        Envelope { epoch, index, payload: ProtoMsg::Vid(msg) }
+        Envelope {
+            epoch,
+            index,
+            payload: ProtoMsg::Vid(msg),
+        }
     }
 
     pub fn ba(epoch: Epoch, index: NodeId, msg: BaMsg) -> Envelope {
-        Envelope { epoch, index, payload: ProtoMsg::Ba(msg) }
+        Envelope {
+            epoch,
+            index,
+            payload: ProtoMsg::Ba(msg),
+        }
     }
 
     /// Traffic class for prioritization (§5): retrieval messages are low
@@ -302,7 +352,11 @@ impl WireDecode for Envelope {
         let epoch = Epoch(read_u64(buf)?);
         let index = NodeId(read_u16(buf)?);
         let payload = ProtoMsg::decode(buf)?;
-        Ok(Envelope { epoch, index, payload })
+        Ok(Envelope {
+            epoch,
+            index,
+            payload,
+        })
     }
 }
 
@@ -311,7 +365,11 @@ mod tests {
     use super::*;
 
     fn proof() -> MerkleProof {
-        MerkleProof { index: 2, leaf_count: 8, path: vec![Hash::digest(b"a"); 3] }
+        MerkleProof {
+            index: 2,
+            leaf_count: 8,
+            path: vec![Hash::digest(b"a"); 3],
+        }
     }
 
     fn roundtrip(env: Envelope) {
@@ -347,8 +405,14 @@ mod tests {
     #[test]
     fn all_ba_messages_roundtrip() {
         for m in [
-            BaMsg::BVal { round: 0, value: true },
-            BaMsg::Aux { round: 7, value: false },
+            BaMsg::BVal {
+                round: 0,
+                value: true,
+            },
+            BaMsg::Aux {
+                round: 7,
+                value: false,
+            },
             BaMsg::Term { value: true },
         ] {
             roundtrip(Envelope::ba(Epoch(9), NodeId(15), m));
@@ -408,7 +472,14 @@ mod tests {
         let root = Hash::digest(b"r");
         let got = Envelope::vid(Epoch(1), NodeId(0), VidMsg::GotChunk { root });
         assert!(got.wire_size() < 64);
-        let bval = Envelope::ba(Epoch(1), NodeId(0), BaMsg::BVal { round: 0, value: true });
+        let bval = Envelope::ba(
+            Epoch(1),
+            NodeId(0),
+            BaMsg::BVal {
+                round: 0,
+                value: true,
+            },
+        );
         assert!(bval.wire_size() < 32);
     }
 
