@@ -22,7 +22,9 @@ pub trait BlockCoder: Coder {
 }
 
 /// The production coder: blocks are serialized with the wire codec and
-/// dispersed as real Reed–Solomon chunks under a real Merkle root.
+/// dispersed as real Reed–Solomon chunks under a real Merkle root. The
+/// dispersal representation is a shared [`bytes::Bytes`] buffer, so blocks
+/// and chunk payloads flow through the data plane without deep copies.
 #[derive(Clone, Debug)]
 pub struct RealBlockCoder {
     inner: RealCoder,
@@ -37,7 +39,7 @@ impl RealBlockCoder {
 }
 
 impl Coder for RealBlockCoder {
-    type Block = Vec<u8>;
+    type Block = bytes::Bytes;
 
     fn data_chunks(&self) -> usize {
         self.inner.data_chunks()
@@ -45,7 +47,7 @@ impl Coder for RealBlockCoder {
     fn total_chunks(&self) -> usize {
         self.inner.total_chunks()
     }
-    fn encode(&self, block: &Vec<u8>) -> dl_vid::EncodedBlock {
+    fn encode(&self, block: &bytes::Bytes) -> dl_vid::EncodedBlock {
         self.inner.encode(block)
     }
     fn verify(
@@ -60,17 +62,17 @@ impl Coder for RealBlockCoder {
         &self,
         root: &dl_crypto::Hash,
         chunks: &[(u32, dl_wire::ChunkPayload)],
-    ) -> dl_vid::Retrieved<Vec<u8>> {
+    ) -> dl_vid::Retrieved<bytes::Bytes> {
         self.inner.decode(root, chunks)
     }
 }
 
 impl BlockCoder for RealBlockCoder {
-    fn pack(&self, block: &Block) -> Vec<u8> {
-        block.to_bytes()
+    fn pack(&self, block: &Block) -> bytes::Bytes {
+        bytes::Bytes::from(block.to_bytes())
     }
 
-    fn unpack(&self, data: &Vec<u8>) -> Option<Block> {
+    fn unpack(&self, data: &bytes::Bytes) -> Option<Block> {
         Block::from_bytes(data).ok()
     }
 }
@@ -100,7 +102,7 @@ mod tests {
     fn garbage_unpacks_to_none() {
         let cluster = ClusterConfig::new(4);
         let coder = RealBlockCoder::new(&cluster);
-        assert_eq!(coder.unpack(&vec![0xde, 0xad]), None);
+        assert_eq!(coder.unpack(&bytes::Bytes::from(vec![0xde, 0xad])), None);
     }
 
     #[test]

@@ -164,29 +164,33 @@ impl Matrix {
         Some(inv)
     }
 
+    /// Disjoint mutable views of rows `r1` and `r2` (`r1 < r2`).
+    fn rows_mut(&mut self, r1: usize, r2: usize) -> (&mut [u8], &mut [u8]) {
+        debug_assert!(r1 < r2);
+        let cols = self.cols;
+        let (head, tail) = self.data.split_at_mut(r2 * cols);
+        (&mut head[r1 * cols..(r1 + 1) * cols], &mut tail[..cols])
+    }
+
     fn swap_rows(&mut self, r1: usize, r2: usize) {
         if r1 == r2 {
             return;
         }
-        for c in 0..self.cols {
-            let t = self.get(r1, c);
-            self.set(r1, c, self.get(r2, c));
-            self.set(r2, c, t);
-        }
+        let (a, b) = self.rows_mut(r1.min(r2), r1.max(r2));
+        a.swap_with_slice(b);
     }
 
     fn scale_row(&mut self, r: usize, factor: u8) {
-        for c in 0..self.cols {
-            self.set(r, c, gf256::mul(self.get(r, c), factor));
-        }
+        let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+        gf256::scale_slice(row, factor);
     }
 
     /// `row[r] ^= factor * row[src]`.
     fn add_scaled_row(&mut self, r: usize, src: usize, factor: u8) {
-        for c in 0..self.cols {
-            let v = gf256::mul(self.get(src, c), factor);
-            self.set(r, c, self.get(r, c) ^ v);
-        }
+        debug_assert_ne!(r, src);
+        let (lo, hi) = self.rows_mut(r.min(src), r.max(src));
+        let (dst, s) = if r < src { (lo, &*hi) } else { (hi, &*lo) };
+        gf256::mul_acc_slice(dst, s, factor);
     }
 }
 

@@ -7,15 +7,57 @@
 //! data shard verbatim — and any `k` rows of `E` remain invertible, so any `k`
 //! chunks reconstruct the data.
 //!
-//! Block framing: AVID-M disperses variable-length blocks, so
-//! [`ReedSolomon::encode_block`] prepends a 4-byte little-endian length and
-//! zero-pads to `k` equal shards. [`ReedSolomon::reconstruct_block`] reverses
-//! this. A malicious uploader can violate the framing (bad length, nonzero
-//! padding); retrieval surfaces that as [`RsError::BadFrame`] or via AVID-M's
-//! re-encode-and-compare root check.
+//! ## The data-plane fast path
+//!
+//! Encode and decode are the bandwidth-critical operations of the whole
+//! system (paper §3.3, §6.2), so they avoid per-call setup and per-shard
+//! allocation entirely:
+//!
+//! * The constructor precomputes a [`gf256::MulTab`] for **every coefficient
+//!   of the parity submatrix**, so no multiplication table is ever rebuilt at
+//!   encode time.
+//! * [`ReedSolomon::encode_block_shared`] writes the whole codeword into one
+//!   arena allocation and walks it in cache-sized stripes, updating **all**
+//!   parity rows while each data stripe is hot in L1/L2 (the klauspost
+//!   stripe order). The returned [`CodedBlock`] hands out zero-copy
+//!   [`Bytes`] views per chunk — an `N`-node dispersal fan-out shares one
+//!   allocation instead of making `N` copies.
+//! * Decode inverts the selected `k×k` submatrix once per distinct chunk
+//!   subset and caches the inverted matrix (as `MulTab`s) keyed by the
+//!   subset — retrieval repeatedly sees the same `k`-subset within an epoch,
+//!   so subsequent decodes skip the Gauss–Jordan entirely.
+//!   [`ReedSolomon::reconstruct_block_shared`] decodes into one contiguous
+//!   frame buffer and returns the payload as a zero-copy window into it.
+//!
+//! Block framing: AVID-M disperses variable-length blocks, so encoding
+//! prepends a 4-byte little-endian length and zero-pads to `k` equal shards.
+//! Reconstruction reverses this. A malicious uploader can violate the
+//! framing (bad length, nonzero padding); retrieval surfaces that as
+//! [`RsError::BadFrame`] or via AVID-M's re-encode-and-compare root check.
 
-use crate::gf256;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+
+use crate::gf256::{self, MulTab};
 use crate::matrix::Matrix;
+
+/// Stripe width (bytes per shard per pass) for the striped encode/decode
+/// loops. All `k` source stripes (`k · 4096 ≤ 1 MiB` even at `k = 256`)
+/// stay cache-resident while every output row consumes them.
+const STRIPE: usize = 4096;
+
+/// Decoding plans cached per chunk-index subset; cleared wholesale if an
+/// adversarial access pattern somehow produces more distinct subsets.
+const DECODE_CACHE_CAP: usize = 256;
+
+/// An inverted `k×k` decode submatrix, expanded to per-coefficient nibble
+/// tables (row-major `k·k` entries).
+type DecodePlan = Arc<Vec<MulTab>>;
+
+/// Plans keyed by the exact ordered chunk-index subset, shared by clones.
+type DecodeCache = Arc<Mutex<HashMap<Vec<u8>, DecodePlan>>>;
 
 /// Errors from encoding/reconstruction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,15 +87,72 @@ impl std::fmt::Display for RsError {
 
 impl std::error::Error for RsError {}
 
+/// A whole codeword in one arena allocation: `n` chunks of `shard_len`
+/// bytes, laid out contiguously by chunk index.
+///
+/// [`CodedBlock::chunk`] returns a zero-copy [`Bytes`] window, so handing
+/// chunk `i` to recipient `i` across an `N`-node cluster costs `N` refcount
+/// bumps, not `N` buffer copies.
+#[derive(Clone, Debug)]
+pub struct CodedBlock {
+    arena: Bytes,
+    shard_len: usize,
+    n: usize,
+}
+
+impl CodedBlock {
+    /// Total number of chunks (`n`).
+    pub fn chunk_count(&self) -> usize {
+        self.n
+    }
+
+    /// Bytes per chunk.
+    pub fn shard_len(&self) -> usize {
+        self.shard_len
+    }
+
+    /// Zero-copy view of chunk `i` (shares the arena allocation).
+    pub fn chunk(&self, i: usize) -> Bytes {
+        assert!(i < self.n, "chunk index out of range");
+        self.arena
+            .slice(i * self.shard_len..(i + 1) * self.shard_len)
+    }
+
+    /// Borrow chunk `i` as a slice.
+    pub fn chunk_bytes(&self, i: usize) -> &[u8] {
+        &self.arena[i * self.shard_len..(i + 1) * self.shard_len]
+    }
+
+    /// All chunks as borrowed slices, in index order (e.g. for building the
+    /// Merkle commitment).
+    pub fn chunk_refs(&self) -> Vec<&[u8]> {
+        (0..self.n).map(|i| self.chunk_bytes(i)).collect()
+    }
+
+    /// Copy the chunks out as owned vectors (compatibility/test helper; the
+    /// dispersal path uses the zero-copy views).
+    pub fn to_vecs(&self) -> Vec<Vec<u8>> {
+        (0..self.n).map(|i| self.chunk_bytes(i).to_vec()).collect()
+    }
+}
+
 /// A systematic `(k, n)` Reed–Solomon code: `n` chunks, any `k` reconstruct.
 ///
 /// In DispersedLedger terms `k = N − 2f` and `n = N` (paper §3.3 step 1).
+///
+/// Construction precomputes the parity-coefficient multiplication tables;
+/// clones share the decode-plan cache.
 #[derive(Clone, Debug)]
 pub struct ReedSolomon {
     k: usize,
     n: usize,
     /// `n×k` systematic encoding matrix (top `k×k` = identity).
     enc: Matrix,
+    /// Nibble tables for the parity submatrix, row-major:
+    /// `parity_tabs[(r − k) * k + c]` encodes `enc[r][c]` for `r ≥ k`.
+    parity_tabs: Vec<MulTab>,
+    /// Inverted-matrix plans keyed by the exact chunk-index subset.
+    decode_cache: DecodeCache,
 }
 
 impl ReedSolomon {
@@ -68,7 +167,17 @@ impl ReedSolomon {
             .invert()
             .expect("top square of a Vandermonde matrix is invertible");
         let enc = vand.mul(&top_inv);
-        Ok(ReedSolomon { k, n, enc })
+        let parity_tabs = (k..n)
+            .flat_map(|r| (0..k).map(move |c| (r, c)))
+            .map(|(r, c)| MulTab::new(enc.get(r, c)))
+            .collect();
+        Ok(ReedSolomon {
+            k,
+            n,
+            enc,
+            parity_tabs,
+            decode_cache: Arc::new(Mutex::new(HashMap::new())),
+        })
     }
 
     /// Convenience constructor with DispersedLedger parameters: `N` nodes
@@ -99,16 +208,56 @@ impl ReedSolomon {
         (block_len + 4).div_ceil(self.k).max(1)
     }
 
-    /// Encode a block into `n` equal-length chunks.
-    pub fn encode_block(&self, block: &[u8]) -> Vec<Vec<u8>> {
-        let shard_len = self.chunk_len(block.len());
-        // Frame: length header, payload, zero padding.
-        let mut data = vec![0u8; self.k * shard_len];
-        data[..4].copy_from_slice(&(block.len() as u32).to_le_bytes());
-        data[4..4 + block.len()].copy_from_slice(block);
+    /// Number of decode plans currently cached (diagnostics/tests).
+    pub fn cached_decode_plans(&self) -> usize {
+        self.decode_cache.lock().expect("cache poisoned").len()
+    }
 
-        let data_shards: Vec<&[u8]> = data.chunks(shard_len).collect();
-        self.encode_shards(&data_shards)
+    /// Encode a block into an arena-backed codeword — the dispersal fast
+    /// path. One allocation for all `n` chunks; see [`CodedBlock`].
+    pub fn encode_block_shared(&self, block: &[u8]) -> CodedBlock {
+        let shard_len = self.chunk_len(block.len());
+        let mut arena = vec![0u8; self.n * shard_len];
+        // Frame: length header, payload, zero padding — written straight
+        // into the systematic region (chunks 0..k are the data itself).
+        arena[..4].copy_from_slice(&(block.len() as u32).to_le_bytes());
+        arena[4..4 + block.len()].copy_from_slice(block);
+
+        let (data, parity) = arena.split_at_mut(self.k * shard_len);
+        let parity_rows = self.n - self.k;
+        // Striped parity generation: while one data stripe is cache-hot,
+        // update the matching stripe of every parity row.
+        let mut pos = 0;
+        while pos < shard_len {
+            let end = (pos + STRIPE).min(shard_len);
+            for r in 0..parity_rows {
+                let dst = &mut parity[r * shard_len + pos..r * shard_len + end];
+                for c in 0..self.k {
+                    let src = &data[c * shard_len + pos..c * shard_len + end];
+                    let tab = &self.parity_tabs[r * self.k + c];
+                    if c == 0 {
+                        gf256::mul_slice_tab(dst, src, tab);
+                    } else {
+                        gf256::mul_acc_slice_tab(dst, src, tab);
+                    }
+                }
+            }
+            pos = end;
+        }
+        CodedBlock {
+            arena: Bytes::from(arena),
+            shard_len,
+            n: self.n,
+        }
+    }
+
+    /// Encode a block into `n` equal-length owned chunks.
+    ///
+    /// Compatibility wrapper over [`ReedSolomon::encode_block_shared`]; the
+    /// dispersal path uses the shared form to avoid the per-chunk copies
+    /// this one makes.
+    pub fn encode_block(&self, block: &[u8]) -> Vec<Vec<u8>> {
+        self.encode_block_shared(block).to_vecs()
     }
 
     /// Low-level encode: `k` equal-length data shards → `n` chunks
@@ -122,21 +271,48 @@ impl ReedSolomon {
         for d in data {
             out.push(d.to_vec());
         }
-        for r in self.k..self.n {
+        for r in 0..self.n - self.k {
             let mut shard = vec![0u8; len];
             for (c, d) in data.iter().enumerate() {
-                gf256::mul_acc_slice(&mut shard, d, self.enc.get(r, c));
+                let tab = &self.parity_tabs[r * self.k + c];
+                if c == 0 {
+                    gf256::mul_slice_tab(&mut shard, d, tab);
+                } else {
+                    gf256::mul_acc_slice_tab(&mut shard, d, tab);
+                }
             }
             out.push(shard);
         }
         out
     }
 
-    /// Reconstruct the `k` data shards from any `k` distinct chunks.
-    ///
-    /// `chunks` supplies `(chunk_index, bytes)` pairs; duplicates are an
-    /// error surfaced as [`RsError::MalformedChunks`].
-    pub fn reconstruct_data(&self, chunks: &[(usize, &[u8])]) -> Result<Vec<Vec<u8>>, RsError> {
+    /// The inverted-submatrix decode plan for one ordered chunk subset,
+    /// served from the shared cache when the subset repeats.
+    fn decode_plan(&self, indices: &[usize]) -> DecodePlan {
+        let key: Vec<u8> = indices.iter().map(|&i| i as u8).collect();
+        let mut cache = self.decode_cache.lock().expect("cache poisoned");
+        if let Some(plan) = cache.get(&key) {
+            return Arc::clone(plan);
+        }
+        let sub = self.enc.select_rows(indices);
+        let dec = sub
+            .invert()
+            .expect("any k rows of a systematic Vandermonde-derived matrix are independent");
+        let tabs: Vec<MulTab> = (0..self.k)
+            .flat_map(|r| (0..self.k).map(move |c| (r, c)))
+            .map(|(r, c)| MulTab::new(dec.get(r, c)))
+            .collect();
+        let plan = Arc::new(tabs);
+        if cache.len() >= DECODE_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, Arc::clone(&plan));
+        plan
+    }
+
+    /// Decode the contiguous `k · shard_len` frame (header + payload +
+    /// padding) from any `k` distinct chunks, in one arena buffer.
+    fn reconstruct_frame(&self, chunks: &[(usize, &[u8])]) -> Result<Vec<u8>, RsError> {
         if chunks.len() < self.k {
             return Err(RsError::NotEnoughChunks {
                 have: chunks.len(),
@@ -144,49 +320,72 @@ impl ReedSolomon {
             });
         }
         let use_chunks = &chunks[..self.k];
-        let len = use_chunks[0].1.len();
+        let shard_len = use_chunks[0].1.len();
         let mut seen = vec![false; self.n];
         for &(idx, bytes) in use_chunks {
-            if idx >= self.n || bytes.len() != len || seen[idx] {
+            if idx >= self.n || bytes.len() != shard_len || seen[idx] {
                 return Err(RsError::MalformedChunks);
             }
             seen[idx] = true;
         }
 
-        // Fast path: all k chunks are data chunks already.
+        let mut frame = vec![0u8; self.k * shard_len];
+
+        // Fast path: all k chunks are data chunks already — pure placement.
         if use_chunks.iter().all(|&(idx, _)| idx < self.k) {
-            let mut data: Vec<Vec<u8>> = vec![Vec::new(); self.k];
             for &(idx, bytes) in use_chunks {
-                data[idx] = bytes.to_vec();
+                frame[idx * shard_len..(idx + 1) * shard_len].copy_from_slice(bytes);
             }
-            return Ok(data);
+            return Ok(frame);
         }
 
         let indices: Vec<usize> = use_chunks.iter().map(|&(i, _)| i).collect();
-        let sub = self.enc.select_rows(&indices);
-        let dec = sub
-            .invert()
-            .expect("any k rows of a systematic Vandermonde-derived matrix are independent");
-
-        let mut data: Vec<Vec<u8>> = Vec::with_capacity(self.k);
-        for r in 0..self.k {
-            let mut shard = vec![0u8; len];
-            for (c, &(_, bytes)) in use_chunks.iter().enumerate() {
-                gf256::mul_acc_slice(&mut shard, bytes, dec.get(r, c));
+        let plan = self.decode_plan(&indices);
+        // Same stripe order as encode: every data row consumes the chunk
+        // stripes while they are cache-hot. Rows whose chunk is already
+        // present degrade to a copy via the identity-row MulTab fast paths.
+        let mut pos = 0;
+        while pos < shard_len {
+            let end = (pos + STRIPE).min(shard_len);
+            for r in 0..self.k {
+                let dst = &mut frame[r * shard_len + pos..r * shard_len + end];
+                for (c, &(_, bytes)) in use_chunks.iter().enumerate() {
+                    let tab = &plan[r * self.k + c];
+                    if c == 0 {
+                        gf256::mul_slice_tab(dst, &bytes[pos..end], tab);
+                    } else {
+                        gf256::mul_acc_slice_tab(dst, &bytes[pos..end], tab);
+                    }
+                }
             }
-            data.push(shard);
+            pos = end;
         }
-        Ok(data)
+        Ok(frame)
     }
 
-    /// Reconstruct the original block (undoing the length framing).
-    pub fn reconstruct_block(&self, chunks: &[(usize, &[u8])]) -> Result<Vec<u8>, RsError> {
-        let data = self.reconstruct_data(chunks)?;
-        let shard_len = data[0].len();
-        let mut frame = Vec::with_capacity(self.k * shard_len);
-        for d in &data {
-            frame.extend_from_slice(d);
+    /// Reconstruct the `k` data shards from any `k` distinct chunks.
+    ///
+    /// `chunks` supplies `(chunk_index, bytes)` pairs; duplicates are an
+    /// error surfaced as [`RsError::MalformedChunks`]. Compatibility wrapper
+    /// (owned per-shard vectors); the retrieval path uses
+    /// [`ReedSolomon::reconstruct_block_shared`].
+    pub fn reconstruct_data(&self, chunks: &[(usize, &[u8])]) -> Result<Vec<Vec<u8>>, RsError> {
+        let frame = self.reconstruct_frame(chunks)?;
+        let shard_len = frame.len() / self.k;
+        if shard_len == 0 {
+            // Zero-length chunks (only a hostile peer sends these; honest
+            // encodings have shard_len ≥ 1): k empty shards, not a panic.
+            return Ok(vec![Vec::new(); self.k]);
         }
+        Ok(frame.chunks(shard_len).map(<[u8]>::to_vec).collect())
+    }
+
+    /// Reconstruct the original block (undoing the length framing) as a
+    /// zero-copy window into the decoded frame: the decode writes one
+    /// contiguous buffer and the payload is returned without re-copying.
+    pub fn reconstruct_block_shared(&self, chunks: &[(usize, &[u8])]) -> Result<Bytes, RsError> {
+        let frame = self.reconstruct_frame(chunks)?;
+        let shard_len = frame.len() / self.k;
         if frame.len() < 4 {
             return Err(RsError::BadFrame);
         }
@@ -200,31 +399,49 @@ impl ReedSolomon {
         if self.chunk_len(len) != shard_len {
             return Err(RsError::BadFrame);
         }
-        frame.truncate(4 + len);
-        frame.drain(..4);
-        Ok(frame)
+        Ok(Bytes::from(frame).slice(4..4 + len))
+    }
+
+    /// Reconstruct the original block as an owned vector (compatibility
+    /// wrapper; copies the payload out of the decoded frame once).
+    pub fn reconstruct_block(&self, chunks: &[(usize, &[u8])]) -> Result<Vec<u8>, RsError> {
+        Ok(self.reconstruct_block_shared(chunks)?.to_vec())
     }
 }
 
 /// Accumulates `(index, chunk)` pairs until enough are present to decode.
 ///
-/// Used by AVID-M retrieval: chunks arrive from servers in arbitrary order;
-/// duplicates and mismatched lengths are ignored.
-#[derive(Clone, Debug, Default)]
+/// Chunks arrive from servers in arbitrary order; duplicates, out-of-range
+/// indices and mismatched lengths are ignored. Duplicate detection is a
+/// fixed bitmap sized by `n`, so inserts are O(1) instead of a linear scan.
+#[derive(Clone, Debug)]
 pub struct ChunkSet {
     chunks: Vec<(usize, Vec<u8>)>,
+    /// One bit per possible chunk index `0..n`.
+    seen: Vec<u64>,
+    n: usize,
 }
 
 impl ChunkSet {
-    pub fn new() -> ChunkSet {
-        ChunkSet::default()
+    /// An empty set accepting chunk indices `0..n`.
+    pub fn new(n: usize) -> ChunkSet {
+        ChunkSet {
+            chunks: Vec::new(),
+            seen: vec![0; n.div_ceil(64)],
+            n,
+        }
     }
 
-    /// Insert a chunk; returns `true` if it was new.
+    /// Insert a chunk; returns `true` if it was new and in range.
     pub fn insert(&mut self, index: usize, bytes: Vec<u8>) -> bool {
-        if self.chunks.iter().any(|(i, _)| *i == index) {
+        if index >= self.n {
             return false;
         }
+        let (word, bit) = (index / 64, 1u64 << (index % 64));
+        if self.seen[word] & bit != 0 {
+            return false;
+        }
+        self.seen[word] |= bit;
         self.chunks.push((index, bytes));
         true
     }
@@ -254,6 +471,53 @@ mod tests {
         (0..len).map(|i| (i * 131 + 7) as u8).collect()
     }
 
+    /// The pre-fast-path scalar implementation, kept as the correctness
+    /// reference: per-byte log/exp multiplication straight off the encoding
+    /// matrix, one owned vector per shard. The property tests assert the
+    /// striped/table-driven arena encoder is byte-identical to this.
+    mod scalar_ref {
+        use crate::gf256;
+        use crate::matrix::Matrix;
+
+        pub fn encode_block(enc: &Matrix, k: usize, n: usize, block: &[u8]) -> Vec<Vec<u8>> {
+            let shard_len = (block.len() + 4).div_ceil(k).max(1);
+            let mut data = vec![0u8; k * shard_len];
+            data[..4].copy_from_slice(&(block.len() as u32).to_le_bytes());
+            data[4..4 + block.len()].copy_from_slice(block);
+            let shards: Vec<&[u8]> = data.chunks(shard_len).collect();
+            let mut out: Vec<Vec<u8>> = shards.iter().map(|s| s.to_vec()).collect();
+            for r in k..n {
+                let mut shard = vec![0u8; shard_len];
+                for (c, src) in shards.iter().enumerate() {
+                    let coef = enc.get(r, c);
+                    for (d, s) in shard.iter_mut().zip(*src) {
+                        *d ^= gf256::mul(coef, *s);
+                    }
+                }
+                out.push(shard);
+            }
+            out
+        }
+
+        pub fn decode_data(enc: &Matrix, k: usize, chunks: &[(usize, &[u8])]) -> Vec<Vec<u8>> {
+            let indices: Vec<usize> = chunks[..k].iter().map(|&(i, _)| i).collect();
+            let dec = enc.select_rows(&indices).invert().expect("invertible");
+            let len = chunks[0].1.len();
+            (0..k)
+                .map(|r| {
+                    let mut shard = vec![0u8; len];
+                    for (c, &(_, bytes)) in chunks[..k].iter().enumerate() {
+                        let coef = dec.get(r, c);
+                        for (d, s) in shard.iter_mut().zip(bytes) {
+                            *d ^= gf256::mul(coef, *s);
+                        }
+                    }
+                    shard
+                })
+                .collect()
+        }
+    }
+
     #[test]
     fn systematic_prefix() {
         let rs = ReedSolomon::new(3, 7).unwrap();
@@ -267,6 +531,114 @@ mod tests {
         }
         assert_eq!(&frame[4..104], &block[..]);
         assert_eq!(u32::from_le_bytes(frame[..4].try_into().unwrap()), 100);
+    }
+
+    #[test]
+    fn arena_encode_matches_scalar_reference() {
+        // The tentpole property: the striped/table-driven/SIMD encoder is
+        // byte-identical to the plain per-byte scalar construction, across
+        // parameter corners (k=1, k=n, n=256) and block sizes (empty, tiny,
+        // unaligned, bigger than one stripe).
+        let params = [
+            (1, 1),
+            (1, 4),
+            (2, 4),
+            (3, 7),
+            (5, 16),
+            (85, 256),
+            (256, 256),
+        ];
+        let sizes = [0usize, 1, 13, 100, 1000, STRIPE + 37];
+        for &(k, n) in &params {
+            let rs = ReedSolomon::new(k, n).unwrap();
+            for &len in &sizes {
+                let block = sample_block(len);
+                let expect = scalar_ref::encode_block(&rs.enc, k, n, &block);
+                let coded = rs.encode_block_shared(&block);
+                assert_eq!(coded.chunk_count(), n);
+                for (i, exp) in expect.iter().enumerate() {
+                    assert_eq!(
+                        coded.chunk_bytes(i),
+                        &exp[..],
+                        "k={k} n={n} len={len} chunk={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_decode_matches_scalar_reference() {
+        let rs = ReedSolomon::new(4, 10).unwrap();
+        let block = sample_block(5000);
+        let chunks = rs.encode_block(&block);
+        // A mixed data/parity subset in scrambled order.
+        let subset: Vec<(usize, &[u8])> = [7usize, 2, 9, 0]
+            .iter()
+            .map(|&i| (i, chunks[i].as_slice()))
+            .collect();
+        let expect = scalar_ref::decode_data(&rs.enc, 4, &subset);
+        assert_eq!(rs.reconstruct_data(&subset).unwrap(), expect);
+        assert_eq!(rs.reconstruct_block(&subset).unwrap(), block);
+    }
+
+    #[test]
+    fn coded_block_views_share_one_arena() {
+        // The fan-out property: all n chunk views alias one contiguous
+        // allocation, laid out by chunk index.
+        let rs = ReedSolomon::new(3, 9).unwrap();
+        let coded = rs.encode_block_shared(&sample_block(999));
+        let base = coded.chunk(0).as_ref().as_ptr();
+        let shard_len = coded.shard_len();
+        for i in 0..9 {
+            let view = coded.chunk(i);
+            assert_eq!(view.len(), shard_len);
+            assert_eq!(view.as_ref().as_ptr(), unsafe { base.add(i * shard_len) });
+        }
+    }
+
+    #[test]
+    fn decode_plan_cache_hits_on_repeated_subset() {
+        let rs = ReedSolomon::new(3, 7).unwrap();
+        let block = sample_block(600);
+        let chunks = rs.encode_block(&block);
+        let subset: Vec<(usize, &[u8])> = [6usize, 1, 4]
+            .iter()
+            .map(|&i| (i, chunks[i].as_slice()))
+            .collect();
+        assert_eq!(rs.cached_decode_plans(), 0);
+        for _ in 0..5 {
+            assert_eq!(rs.reconstruct_block(&subset).unwrap(), block);
+        }
+        // One distinct subset → one cached plan, shared by clones.
+        assert_eq!(rs.cached_decode_plans(), 1);
+        let clone = rs.clone();
+        assert_eq!(clone.cached_decode_plans(), 1);
+        // A different subset adds a second plan.
+        let other: Vec<(usize, &[u8])> = [5usize, 2, 3]
+            .iter()
+            .map(|&i| (i, chunks[i].as_slice()))
+            .collect();
+        assert_eq!(clone.reconstruct_block(&other).unwrap(), block);
+        assert_eq!(rs.cached_decode_plans(), 2);
+        // All-data subsets never touch the cache (pure placement).
+        let data: Vec<(usize, &[u8])> = (0..3).map(|i| (i, chunks[i].as_slice())).collect();
+        assert_eq!(rs.reconstruct_block(&data).unwrap(), block);
+        assert_eq!(rs.cached_decode_plans(), 2);
+    }
+
+    #[test]
+    fn shared_reconstruct_is_zero_copy_window() {
+        let rs = ReedSolomon::new(4, 10).unwrap();
+        let block = sample_block(777);
+        let chunks = rs.encode_block(&block);
+        let subset: Vec<(usize, &[u8])> = (5..9).map(|i| (i, chunks[i].as_slice())).collect();
+        let payload = rs.reconstruct_block_shared(&subset).unwrap();
+        assert_eq!(&payload[..], &block[..]);
+        // Cloning the returned window shares storage: no payload re-copy
+        // anywhere downstream.
+        let cloned = payload.clone();
+        assert_eq!(cloned.as_ref().as_ptr(), payload.as_ref().as_ptr());
     }
 
     #[test]
@@ -368,6 +740,19 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_chunks_do_not_panic() {
+        // A hostile peer can send equal-length *empty* chunks; both decode
+        // entry points must fail or degrade gracefully, never panic.
+        let rs = ReedSolomon::new(2, 6).unwrap();
+        let subset: Vec<(usize, &[u8])> = vec![(0, &[][..]), (1, &[][..])];
+        assert_eq!(
+            rs.reconstruct_data(&subset).unwrap(),
+            vec![Vec::<u8>::new(); 2]
+        );
+        assert_eq!(rs.reconstruct_block_shared(&subset), Err(RsError::BadFrame));
+    }
+
+    #[test]
     fn garbage_chunks_yield_bad_frame_or_garbage() {
         // Inconsistent chunks (not a valid codeword) either trip the frame
         // check or decode to *something* — AVID-M's root comparison is what
@@ -413,14 +798,30 @@ mod tests {
 
     #[test]
     fn chunkset_dedup() {
-        let mut cs = ChunkSet::new();
+        let mut cs = ChunkSet::new(6);
         assert!(cs.insert(3, vec![1, 2]));
         assert!(!cs.insert(3, vec![9, 9]));
         assert!(cs.insert(1, vec![4, 5]));
+        // Out-of-range indices are rejected outright.
+        assert!(!cs.insert(6, vec![0]));
+        assert!(!cs.insert(999, vec![0]));
         assert_eq!(cs.len(), 2);
         let refs = cs.as_refs();
         assert_eq!(refs[0].0, 3);
         assert_eq!(refs[1].0, 1);
+    }
+
+    #[test]
+    fn chunkset_bitmap_spans_words() {
+        // n > 64 exercises the multi-word bitmap.
+        let mut cs = ChunkSet::new(130);
+        for i in 0..130 {
+            assert!(cs.insert(i, vec![i as u8]), "first insert {i}");
+        }
+        for i in 0..130 {
+            assert!(!cs.insert(i, vec![0]), "duplicate insert {i}");
+        }
+        assert_eq!(cs.len(), 130);
     }
 
     #[test]

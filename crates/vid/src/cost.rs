@@ -50,7 +50,7 @@ pub fn avid_m_per_node_bytes(n: usize, f: usize, block_len: usize) -> f64 {
 /// (including framing) each server receives. Returns the mean.
 pub fn measure_avid_m_per_node_bytes(n: usize, f: usize, block_len: usize) -> f64 {
     let coder = RealCoder::new(n, f);
-    let block: Vec<u8> = (0..block_len).map(|i| (i % 251) as u8).collect();
+    let block: bytes::Bytes = (0..block_len).map(|i| (i % 251) as u8).collect();
     let mut servers: Vec<VidServer<RealCoder>> = (0..n)
         .map(|i| VidServer::new(NodeId(i as u16), n, f))
         .collect();

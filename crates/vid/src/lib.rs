@@ -86,6 +86,11 @@ pub struct EncodedBlock {
 
 /// The production coder: real Reed–Solomon over GF(2^8) plus a real Merkle
 /// tree, dispersing opaque byte blocks.
+///
+/// Blocks are [`bytes::Bytes`]: encode writes the whole codeword into one
+/// arena allocation and every chunk payload is a zero-copy window into it,
+/// so the `N`-recipient dispersal fan-out shares a single buffer. Decode
+/// likewise returns the payload as a window into the decoded frame.
 #[derive(Clone, Debug)]
 pub struct RealCoder {
     rs: ReedSolomon,
@@ -100,7 +105,7 @@ impl RealCoder {
 }
 
 impl Coder for RealCoder {
-    type Block = Vec<u8>;
+    type Block = bytes::Bytes;
 
     fn data_chunks(&self) -> usize {
         self.rs.data_chunks()
@@ -110,19 +115,12 @@ impl Coder for RealCoder {
         self.rs.total_chunks()
     }
 
-    fn encode(&self, block: &Vec<u8>) -> EncodedBlock {
-        let chunks = self.rs.encode_block(block);
-        let tree = MerkleTree::build(&chunks);
+    fn encode(&self, block: &bytes::Bytes) -> EncodedBlock {
+        let coded = self.rs.encode_block_shared(block);
+        let tree = MerkleTree::build(&coded.chunk_refs());
         let root = tree.root();
-        let chunks = chunks
-            .into_iter()
-            .enumerate()
-            .map(|(i, c)| {
-                (
-                    ChunkPayload::Real(bytes::Bytes::from(c)),
-                    tree.prove(i as u32),
-                )
-            })
+        let chunks = (0..coded.chunk_count())
+            .map(|i| (ChunkPayload::Real(coded.chunk(i)), tree.prove(i as u32)))
             .collect();
         EncodedBlock { root, chunks }
     }
@@ -134,7 +132,7 @@ impl Coder for RealCoder {
         proof.leaf_count as usize == self.total_chunks() && proof.verify(root, bytes)
     }
 
-    fn decode(&self, root: &Hash, chunks: &[(u32, ChunkPayload)]) -> Retrieved<Vec<u8>> {
+    fn decode(&self, root: &Hash, chunks: &[(u32, ChunkPayload)]) -> Retrieved<bytes::Bytes> {
         let refs: Vec<(usize, &[u8])> = chunks
             .iter()
             .filter_map(|(i, p)| match p {
@@ -142,7 +140,7 @@ impl Coder for RealCoder {
                 ChunkPayload::Synthetic { .. } => None,
             })
             .collect();
-        let block = match self.rs.reconstruct_block(&refs) {
+        let block = match self.rs.reconstruct_block_shared(&refs) {
             Ok(b) => b,
             // An inconsistent frame can only come from a bad disperser: the
             // chunks were proof-checked against the root already.
@@ -150,8 +148,8 @@ impl Coder for RealCoder {
             Err(e) => panic!("retriever invariant violated: {e}"),
         };
         // The AVID-M check (Fig. 4, step 2-4): re-encode and compare roots.
-        let reencoded = self.rs.encode_block(&block);
-        let recomputed = MerkleTree::build(&reencoded).root();
+        let reencoded = self.rs.encode_block_shared(&block);
+        let recomputed = MerkleTree::build(&reencoded.chunk_refs()).root();
         if recomputed == *root {
             Retrieved::Block(block)
         } else {
@@ -281,8 +279,16 @@ impl<C: Coder> VidServer<C> {
         if proof.index != self.me.0 as u32 || !coder.verify(&root, &proof, &payload) {
             return;
         }
-        // Step 2: first chunk wins.
+        // Step 2: first chunk wins. Stored detached from any shared
+        // allocation: the proposer's loopback chunk is a window into the
+        // whole-codeword dispersal arena, and `my_chunk` lives for the
+        // epoch — keeping the window would pin `n·shard_len` bytes to
+        // retain `shard_len` of them.
         if self.my_chunk.is_none() {
+            let payload = match payload {
+                ChunkPayload::Real(b) => ChunkPayload::Real(bytes::Bytes::copy_from_slice(&b)),
+                synthetic => synthetic,
+            };
             self.my_chunk = Some((root, payload, proof));
         }
         // Step 3: one GotChunk ever.

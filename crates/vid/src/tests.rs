@@ -17,7 +17,7 @@ struct Net {
     pool: Vec<(NodeId, NodeId, VidMsg)>,
     completes: Vec<Option<Hash>>,
     retrievers: Vec<(NodeId, Retriever<RealCoder>)>,
-    results: Vec<Option<Retrieved<Vec<u8>>>>,
+    results: Vec<Option<Retrieved<bytes::Bytes>>>,
     rng: StdRng,
 }
 
@@ -39,7 +39,7 @@ impl Net {
     }
 
     fn disperse(&mut self, from: NodeId, block: &[u8]) {
-        for eff in Disperser::disperse(&self.coder, &block.to_vec()) {
+        for eff in Disperser::disperse(&self.coder, &bytes::Bytes::copy_from_slice(block)) {
             if let VidEffect::Send(to, msg) = eff {
                 self.pool.push((from, to, msg));
             }
@@ -50,8 +50,8 @@ impl Net {
     /// of block A under block A's root to half the servers, chunks of block
     /// B under B's root to the rest (equivocation — no single root quorum).
     fn disperse_equivocating(&mut self, from: NodeId, a: &[u8], b: &[u8]) {
-        let ea = self.coder.encode(&a.to_vec());
-        let eb = self.coder.encode(&b.to_vec());
+        let ea = self.coder.encode(&bytes::Bytes::copy_from_slice(a));
+        let eb = self.coder.encode(&bytes::Bytes::copy_from_slice(b));
         for i in 0..self.n {
             let (root, (payload, proof)) = if i % 2 == 0 {
                 (ea.root, ea.chunks[i].clone())
@@ -109,7 +109,7 @@ impl Net {
         }
     }
 
-    fn apply_server_effects(&mut self, server: usize, effects: Vec<VidEffect<Vec<u8>>>) {
+    fn apply_server_effects(&mut self, server: usize, effects: Vec<VidEffect<bytes::Bytes>>) {
         for eff in effects {
             match eff {
                 VidEffect::Send(to, msg) => {
@@ -179,7 +179,7 @@ impl Net {
     }
 }
 
-fn block(len: usize) -> Vec<u8> {
+fn block(len: usize) -> bytes::Bytes {
     (0..len).map(|i| (i * 37 + 11) as u8).collect()
 }
 
@@ -467,7 +467,7 @@ fn retriever_groups_by_root() {
     let f = 1;
     let coder = RealCoder::new(n, f);
     let b = block(128);
-    let enc = coder.encode(&b.to_vec());
+    let enc = coder.encode(&b);
     let (mut retr, _) = Retriever::<RealCoder>::start(n, false);
 
     // Bogus root from server 0 (self-consistent Merkle tree over garbage).
@@ -503,6 +503,51 @@ fn retriever_groups_by_root() {
                 .iter()
                 .any(|e| matches!(e, VidEffect::Retrieved(Retrieved::Block(got)) if *got == b)));
         }
+    }
+}
+
+#[test]
+fn dispersal_fan_out_shares_one_chunk_arena() {
+    // The data-plane fast path: the disperser's N chunk messages are
+    // zero-copy windows into ONE codeword allocation — the fan-out costs
+    // refcount bumps, not per-recipient buffer copies — and each server
+    // still receives exactly the chunk bytes of the canonical encoding.
+    let n = 7;
+    let f = 2;
+    let coder = RealCoder::new(n, f);
+    let b = block(5000);
+    let effects = Disperser::disperse(&coder, &b);
+    assert_eq!(effects.len(), n);
+
+    let expected = dl_erasure::ReedSolomon::for_cluster(n, f)
+        .unwrap()
+        .encode_block(&b);
+    let mut base_ptr: Option<*const u8> = None;
+    let mut shard_len = 0usize;
+    for (i, eff) in effects.iter().enumerate() {
+        let VidEffect::Send(to, VidMsg::Chunk { payload, .. }) = eff else {
+            panic!("dispersal must be per-server chunk sends");
+        };
+        assert_eq!(to.idx(), i);
+        let dl_wire::ChunkPayload::Real(bytes) = payload else {
+            panic!("real coder sends real payloads");
+        };
+        // Identical bytes to what each peer must receive…
+        assert_eq!(*bytes, expected[i], "chunk {i} content");
+        // …and every payload aliases the same contiguous arena.
+        let base = *base_ptr.get_or_insert_with(|| {
+            shard_len = bytes.len();
+            bytes.as_ref().as_ptr()
+        });
+        assert_eq!(
+            bytes.as_ref().as_ptr(),
+            unsafe { base.add(i * shard_len) },
+            "chunk {i} is not a view into the shared arena"
+        );
+        // Cloning the payload (what a driver does to retransmit) shares
+        // storage instead of copying.
+        let cloned = bytes.clone();
+        assert_eq!(cloned.as_ref().as_ptr(), bytes.as_ref().as_ptr());
     }
 }
 

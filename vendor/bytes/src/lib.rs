@@ -3,30 +3,43 @@
 //! This workspace builds in hermetic environments with no registry access, so
 //! the small slice of the `bytes` API that DispersedLedger uses is provided
 //! here: [`Bytes`], a cheaply cloneable, immutable, contiguous byte buffer.
-//! Clones share the underlying allocation via `Arc`, which matters because
-//! the simulator fans each erasure-coded chunk out to `N` envelopes.
+//! Clones — and, since the data-plane fast path landed, [`Bytes::slice`]
+//! views — share the underlying allocation via `Arc`. This is what lets the
+//! erasure coder encode a whole codeword into **one** arena allocation and
+//! hand each of the `N` dispersal recipients a zero-copy window into it.
 
+use std::ops::{Bound, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply cloneable immutable byte buffer.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Internally a `(shared allocation, offset, length)` triple: `clone` bumps a
+/// refcount, [`Bytes::slice`] narrows the window without copying. All trait
+/// impls (`Eq`, `Ord`, `Hash`, `Debug`, …) observe only the visible window.
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    /// `Arc<Vec<u8>>` rather than `Arc<[u8]>`: `From<Vec<u8>>` is then a
+    /// true move — `Arc::from(Box<[u8]>)` would re-copy the buffer into the
+    /// refcounted allocation, which defeats the arena fast path that hands
+    /// multi-megabyte codewords to `Bytes` wholesale.
+    data: Arc<Vec<u8>>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Bytes {
         Bytes {
-            data: Arc::from(&[][..]),
+            data: Arc::new(Vec::new()),
+            offset: 0,
+            len: 0,
         }
     }
 
     /// A buffer borrowing nothing: copies `data` into a shared allocation.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes {
-            data: Arc::from(data),
-        }
+        Bytes::from(data.to_vec())
     }
 
     /// A buffer over a static slice (copied; we do not track lifetimes).
@@ -35,11 +48,41 @@ impl Bytes {
     }
 
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
+    }
+
+    /// A sub-window of this buffer sharing the same allocation — no copy,
+    /// just refcount + bounds arithmetic. Panics if the range is out of
+    /// bounds or inverted, matching the crates.io `bytes` contract.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&s) => s,
+            Bound::Excluded(&s) => s + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&e) => e + 1,
+            Bound::Excluded(&e) => e,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "Bytes::slice range {start}..{end} out of bounds for length {}",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            offset: self.offset + start,
+            len: end - start,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.offset..self.offset + self.len]
     }
 }
 
@@ -52,26 +95,29 @@ impl Default for Bytes {
 impl std::ops::Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl std::borrow::Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
+        let len = v.len();
         Bytes {
-            data: Arc::from(v.into_boxed_slice()),
+            data: Arc::new(v),
+            offset: 0,
+            len,
         }
     }
 }
@@ -88,14 +134,40 @@ impl FromIterator<u8> for Bytes {
     }
 }
 
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter().take(32) {
+        for &b in self.as_slice().iter().take(32) {
             write!(f, "\\x{b:02x}")?;
         }
-        if self.data.len() > 32 {
-            write!(f, "…({} bytes)", self.data.len())?;
+        if self.len > 32 {
+            write!(f, "…({} bytes)", self.len)?;
         }
         write!(f, "\"")
     }
@@ -103,13 +175,13 @@ impl std::fmt::Debug for Bytes {
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &*self.data == other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        &*self.data == other.as_slice()
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -140,5 +212,42 @@ mod tests {
         let b = Bytes::from(vec![5u8, 6, 7]);
         assert_eq!(b.to_vec(), vec![5, 6, 7]);
         assert_eq!(b.iter().copied().sum::<u8>(), 18);
+    }
+
+    #[test]
+    fn slice_is_zero_copy() {
+        let b = Bytes::from((0..100u8).collect::<Vec<u8>>());
+        let s = b.slice(10..20);
+        assert_eq!(s.len(), 10);
+        assert_eq!(&s[..], &(10..20u8).collect::<Vec<u8>>()[..]);
+        // The view points into the parent's allocation.
+        assert_eq!(s.as_ref().as_ptr(), unsafe { b.as_ref().as_ptr().add(10) });
+        // Slicing a slice composes offsets.
+        let s2 = s.slice(5..);
+        assert_eq!(&s2[..], &[15, 16, 17, 18, 19]);
+        assert_eq!(b.slice(..).len(), 100);
+        assert_eq!(b.slice(100..100).len(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![0u8; 4]);
+        let _ = b.slice(2..6);
+    }
+
+    #[test]
+    fn eq_hash_ord_observe_window_only() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = Bytes::from(vec![0u8, 1, 2, 3, 4]).slice(1..4);
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        a.hash(&mut h1);
+        b.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
     }
 }
