@@ -1,9 +1,9 @@
 //! Byzantine node behaviours for tests and fault-injection runs.
 //!
-//! A [`ByzantineNode`] exposes the same three entry points as the honest
-//! [`crate::Node`] and returns the same [`NodeEffect`] vocabulary, so
-//! drivers (the mesh test harness, `dl-sim`) can drop one into a cluster
-//! slot without special-casing. Two behaviours ship:
+//! A [`ByzantineNode`] implements the same [`crate::Engine`] trait as the
+//! honest [`crate::Node`], so drivers (the mesh test harness, `dl-sim`,
+//! `dl-net`) can drop one into a cluster slot as a `Box<dyn Engine>` without
+//! special-casing. Two behaviours ship:
 //!
 //! * [`ByzantineBehavior::Mute`] — a crashed node: consumes everything,
 //!   emits nothing. Exercises the `f`-crash-tolerance of every layer.
@@ -18,7 +18,8 @@
 use dl_wire::{BaMsg, Block, Envelope, Epoch, NodeId, Tx, VidMsg};
 
 use crate::coder::BlockCoder;
-use crate::node::NodeEffect;
+use crate::engine::{EffectSink, Engine};
+
 use crate::variant::NodeConfig;
 
 /// What a Byzantine node does.
@@ -31,7 +32,8 @@ pub enum ByzantineBehavior {
     Equivocate,
 }
 
-/// A faulty cluster member with the same driver interface as [`crate::Node`].
+/// A faulty cluster member with the same [`Engine`] interface as
+/// [`crate::Node`].
 pub struct ByzantineNode<C: BlockCoder> {
     me: NodeId,
     cfg: NodeConfig,
@@ -66,38 +68,10 @@ impl<C: BlockCoder> ByzantineNode<C> {
         self.behavior
     }
 
-    /// Byzantine nodes ignore client transactions.
-    pub fn submit_tx(&mut self, _tx: Tx, _now: u64) -> Vec<NodeEffect> {
-        Vec::new()
-    }
-
-    /// Equivocators attack an epoch the first time they see traffic for it;
-    /// mute nodes drop everything.
-    pub fn handle(&mut self, _from: NodeId, env: Envelope, _now: u64) -> Vec<NodeEffect> {
-        match self.behavior {
-            ByzantineBehavior::Mute => Vec::new(),
-            ByzantineBehavior::Equivocate => {
-                let epoch = env.epoch.0;
-                if epoch == 0 || epoch <= self.attacked_up_to || epoch > self.attacked_up_to + 8 {
-                    return Vec::new(); // once per epoch; bounded lookahead
-                }
-                self.attacked_up_to = epoch;
-                self.attack(epoch)
-            }
-        }
-    }
-
-    /// Mute and equivocating nodes do nothing on their own clock; the
-    /// equivocator is purely reactive.
-    pub fn poll(&mut self, _now: u64) -> Vec<NodeEffect> {
-        Vec::new()
-    }
-
     /// The equivocation payload for one epoch: two conflicting dispersals
     /// plus contradictory BA votes.
-    fn attack(&self, epoch: u64) -> Vec<NodeEffect> {
+    fn attack(&self, epoch: u64, sink: &mut dyn EffectSink) {
         let n = self.cfg.cluster.n;
-        let mut out = Vec::new();
         let block_a = Block {
             header: dl_wire::BlockHeader {
                 epoch: Epoch(epoch),
@@ -121,7 +95,7 @@ impl<C: BlockCoder> ByzantineNode<C> {
                 (&enc_b, enc_b.root)
             };
             let (payload, proof) = enc.chunks[i].clone();
-            out.push(NodeEffect::Send(
+            sink.send(
                 to,
                 Envelope::vid(
                     Epoch(epoch),
@@ -132,10 +106,10 @@ impl<C: BlockCoder> ByzantineNode<C> {
                         payload,
                     },
                 ),
-            ));
+            );
             // Contradictory binary-agreement votes on every instance.
             for j in 0..n {
-                out.push(NodeEffect::Send(
+                sink.send(
                     to,
                     Envelope::ba(
                         Epoch(epoch),
@@ -145,18 +119,50 @@ impl<C: BlockCoder> ByzantineNode<C> {
                             value: i % 2 == 0,
                         },
                     ),
-                ));
+                );
             }
         }
-        out
     }
+}
+
+impl<C: BlockCoder> Engine for ByzantineNode<C> {
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// Byzantine nodes ignore client transactions.
+    fn submit_tx(&mut self, _tx: Tx, _now: u64, _sink: &mut dyn EffectSink) {}
+
+    /// Equivocators attack an epoch the first time they see traffic for it;
+    /// mute nodes drop everything.
+    fn handle(&mut self, _from: NodeId, env: Envelope, _now: u64, sink: &mut dyn EffectSink) {
+        match self.behavior {
+            ByzantineBehavior::Mute => {}
+            ByzantineBehavior::Equivocate => {
+                let epoch = env.epoch.0;
+                if epoch == 0 || epoch <= self.attacked_up_to || epoch > self.attacked_up_to + 8 {
+                    return; // once per epoch; bounded lookahead
+                }
+                self.attacked_up_to = epoch;
+                self.attack(epoch, sink)
+            }
+        }
+    }
+
+    /// Mute and equivocating nodes do nothing on their own clock; the
+    /// equivocator is purely reactive.
+    fn poll(&mut self, _now: u64, _sink: &mut dyn EffectSink) {}
+
+    // `stats` keeps the default `None`: a Byzantine node's self-reported
+    // counters would be meaningless.
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::coder::RealBlockCoder;
-    use crate::node::Node;
+    use crate::engine::EngineExt;
+    use crate::node::{Node, NodeEffect};
     use crate::variant::ProtocolVariant;
     use dl_wire::ClusterConfig;
     use std::collections::VecDeque;
@@ -178,62 +184,66 @@ mod tests {
         }
     }
 
-    /// Mesh of 3 honest nodes + 1 Byzantine in slot 3.
-    fn run_cluster(behavior: ByzantineBehavior) -> (Vec<Node<RealBlockCoder>>, TxOrders) {
+    /// Mesh of 3 honest nodes + 1 Byzantine in slot 3, held uniformly as
+    /// `Box<dyn Engine>` — no per-kind dispatch anywhere in the driver.
+    fn run_cluster(behavior: ByzantineBehavior) -> (Vec<Box<dyn Engine>>, TxOrders) {
         let cluster = ClusterConfig::new(4);
         let cfg = NodeConfig::new(cluster.clone(), ProtocolVariant::Dl);
-        let mut honest: Vec<Node<RealBlockCoder>> = (0..3)
-            .map(|i| Node::new(NodeId(i as u16), cfg.clone(), RealBlockCoder::new(&cluster)))
+        let mut nodes: Vec<Box<dyn Engine>> = (0..3)
+            .map(|i| {
+                Box::new(Node::new(
+                    NodeId(i as u16),
+                    cfg.clone(),
+                    RealBlockCoder::new(&cluster),
+                )) as Box<dyn Engine>
+            })
             .collect();
-        let mut byz = ByzantineNode::new(
+        nodes.push(Box::new(ByzantineNode::new(
             NodeId(3),
             cfg.clone(),
             RealBlockCoder::new(&cluster),
             behavior,
-        );
+        )));
         let mut wire: Wire = VecDeque::new();
-        let mut orders: TxOrders = vec![Vec::new(); 3];
+        let mut orders: TxOrders = vec![Vec::new(); 4];
         let mut now = 0;
-        let effs = honest[0].submit_tx(Tx::synthetic(NodeId(0), 0, 0, 120), now);
+        let effs = nodes[0].submit_tx_vec(Tx::synthetic(NodeId(0), 0, 0, 120), now);
         sink(0, effs, &mut wire, &mut orders);
         for _ in 0..900 {
             now += 10;
-            for (i, node) in honest.iter_mut().enumerate() {
-                let effs = node.poll(now);
+            for (i, node) in nodes.iter_mut().enumerate() {
+                let effs = node.poll_vec(now);
                 sink(i, effs, &mut wire, &mut orders);
             }
             while let Some((from, to, env)) = wire.pop_front() {
-                if to.idx() < 3 {
-                    let effs = honest[to.idx()].handle(from, env, now);
-                    sink(to.idx(), effs, &mut wire, &mut orders);
-                } else {
-                    let effs = byz.handle(from, env, now);
-                    sink(3, effs, &mut wire, &mut orders);
-                }
+                let effs = nodes[to.idx()].handle_vec(from, env, now);
+                sink(to.idx(), effs, &mut wire, &mut orders);
             }
         }
-        (honest, orders)
+        (nodes, orders)
     }
 
     #[test]
     fn cluster_survives_mute_node() {
-        let (honest, orders) = run_cluster(ByzantineBehavior::Mute);
-        for (i, node) in honest.iter().enumerate() {
-            assert_eq!(node.stats().txs_delivered, 1, "node {i}");
+        let (nodes, orders) = run_cluster(ByzantineBehavior::Mute);
+        for (i, node) in nodes[..3].iter().enumerate() {
+            assert_eq!(node.stats().unwrap().txs_delivered, 1, "node {i}");
         }
-        assert!(orders.windows(2).all(|w| w[0] == w[1]));
+        assert!(nodes[3].stats().is_none(), "Byzantine slot reported stats");
+        assert!(orders[..3].windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]
     fn cluster_survives_equivocating_node() {
-        let (honest, orders) = run_cluster(ByzantineBehavior::Equivocate);
-        for (i, node) in honest.iter().enumerate() {
-            assert_eq!(node.stats().txs_delivered, 1, "node {i}");
+        let (nodes, orders) = run_cluster(ByzantineBehavior::Equivocate);
+        for (i, node) in nodes[..3].iter().enumerate() {
+            let stats = node.stats().unwrap();
+            assert_eq!(stats.txs_delivered, 1, "node {i}");
             // The equivocator's dispersal must never complete, so nothing
             // of it is ever delivered.
-            assert_eq!(node.stats().malformed_blocks_delivered, 0, "node {i}");
+            assert_eq!(stats.malformed_blocks_delivered, 0, "node {i}");
         }
-        assert!(orders.windows(2).all(|w| w[0] == w[1]));
+        assert!(orders[..3].windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]
@@ -254,10 +264,10 @@ mod tests {
                 value: true,
             },
         );
-        let first = byz.handle(NodeId(0), env.clone(), 0);
+        let first = byz.handle_vec(NodeId(0), env.clone(), 0);
         assert!(!first.is_empty());
         assert!(
-            byz.handle(NodeId(0), env, 5).is_empty(),
+            byz.handle_vec(NodeId(0), env, 5).is_empty(),
             "second attack on same epoch"
         );
     }
@@ -273,9 +283,9 @@ mod tests {
             ByzantineBehavior::Mute,
         );
         assert!(byz
-            .submit_tx(Tx::synthetic(NodeId(3), 0, 0, 10), 0)
+            .submit_tx_vec(Tx::synthetic(NodeId(3), 0, 0, 10), 0)
             .is_empty());
-        assert!(byz.poll(1000).is_empty());
+        assert!(byz.poll_vec(1000).is_empty());
         let env = Envelope::ba(
             Epoch(1),
             NodeId(0),
@@ -284,6 +294,6 @@ mod tests {
                 value: true,
             },
         );
-        assert!(byz.handle(NodeId(0), env, 0).is_empty());
+        assert!(byz.handle_vec(NodeId(0), env, 0).is_empty());
     }
 }

@@ -17,62 +17,80 @@
 //! | `HoneyBadgerLink` | full block retrieval | epoch delivered | yes |
 //!
 //! The node is **sans-IO**: it consumes `(from, Envelope)` pairs plus a
-//! millisecond clock and emits [`NodeEffect`]s. Two drivers ship in this
+//! millisecond clock and writes its effects into a driver-supplied
+//! [`EffectSink`]. Drivers program against the [`Engine`] trait — honest
+//! [`Node`]s and faulty [`ByzantineNode`]s occupy cluster slots
+//! interchangeably as `Box<dyn Engine>`. Two drivers ship in this
 //! workspace: `dl-sim` (discrete-event WAN emulation used by the paper's
-//! benchmark reproductions) and `dl-net` (a real tokio TCP mesh).
+//! benchmark reproductions) and `dl-net` (a real TCP mesh).
 //!
 //! ## Quick tour
 //!
 //! ```
-//! use dl_core::{Node, NodeConfig, NodeEffect, ProtocolVariant, RealBlockCoder};
-//! use dl_wire::{ClusterConfig, NodeId, Tx};
+//! use dl_core::{
+//!     DeliveredBlock, EffectSink, Engine, Node, NodeConfig, ProtocolVariant, RealBlockCoder,
+//! };
+//! use dl_wire::{ClusterConfig, Envelope, NodeId, Tx};
 //!
 //! let cluster = ClusterConfig::new(4);
 //! let cfg = NodeConfig::new(cluster.clone(), ProtocolVariant::Dl);
-//! let mut nodes: Vec<_> = (0..4)
-//!     .map(|i| Node::new(NodeId(i), cfg.clone(), RealBlockCoder::new(&cluster)))
+//! let mut nodes: Vec<Box<dyn Engine>> = (0..4)
+//!     .map(|i| {
+//!         Box::new(Node::new(NodeId(i), cfg.clone(), RealBlockCoder::new(&cluster)))
+//!             as Box<dyn Engine>
+//!     })
 //!     .collect();
 //!
-//! // Submit a transaction at node 0 and run the message loop to quiescence.
-//! let mut wire: Vec<(NodeId, NodeId, dl_wire::Envelope)> = Vec::new();
-//! let mut now = 0u64;
-//! fn sink(
+//! // A driver is an EffectSink: this one routes `send` onto an in-memory
+//! // wire and counts deliveries. `wake_at`/`stat` default to no-ops.
+//! struct Mesh {
 //!     from: NodeId,
-//!     effs: Vec<NodeEffect>,
-//!     wire: &mut Vec<(NodeId, NodeId, dl_wire::Envelope)>,
-//! ) {
-//!     for e in effs {
-//!         if let NodeEffect::Send(to, env) = e { wire.push((from, to, env)); }
+//!     wire: Vec<(NodeId, NodeId, Envelope)>,
+//!     delivered: usize,
+//! }
+//! impl EffectSink for Mesh {
+//!     fn send(&mut self, to: NodeId, env: Envelope) {
+//!         self.wire.push((self.from, to, env));
+//!     }
+//!     fn deliver(&mut self, _block: DeliveredBlock) {
+//!         self.delivered += 1;
 //!     }
 //! }
-//! let effs = nodes[0].submit_tx(Tx::synthetic(NodeId(0), 0, 0, 100), now);
-//! sink(NodeId(0), effs, &mut wire);
+//!
+//! // Submit a transaction at node 0 and run the message loop to quiescence.
+//! let mut mesh = Mesh { from: NodeId(0), wire: Vec::new(), delivered: 0 };
+//! let mut now = 0u64;
+//! nodes[0].submit_tx(Tx::synthetic(NodeId(0), 0, 0, 100), now, &mut mesh);
 //! for _ in 0..600 {
 //!     now += 10;
 //!     for i in 0..4usize {
-//!         let effs = nodes[i].poll(now);
-//!         sink(NodeId(i as u16), effs, &mut wire);
+//!         mesh.from = NodeId(i as u16);
+//!         nodes[i].poll(now, &mut mesh);
 //!     }
-//!     while let Some((from, to, env)) = wire.pop() {
-//!         let effs = nodes[to.idx()].handle(from, env, now);
-//!         sink(to, effs, &mut wire);
+//!     while let Some((from, to, env)) = mesh.wire.pop() {
+//!         mesh.from = to;
+//!         nodes[to.idx()].handle(from, env, now, &mut mesh);
 //!     }
 //! }
-//! assert!(nodes.iter().all(|n| n.stats().txs_delivered == 1));
+//! assert!(nodes.iter().all(|n| n.stats().unwrap().txs_delivered == 1));
 //! ```
 
 pub mod byzantine;
 mod coder;
+mod engine;
 mod linking;
 mod node;
 mod queue;
+pub mod transport;
 mod variant;
 
 pub use byzantine::{ByzantineBehavior, ByzantineNode};
 pub use coder::{BlockCoder, RealBlockCoder};
+pub use engine::{EffectSink, Engine, EngineExt};
 pub use linking::{compute_linking_estimate, CompletionTracker, Observation};
 pub use node::{DeliveredBlock, Node, NodeEffect, NodeStats, StatEvent};
 pub use queue::InputQueue;
+pub use transport::{SendQueue, Transport};
 pub use variant::{NodeConfig, ProposeGate, ProtocolVariant, VariantFlags};
 
 /// Default Nagle delay threshold for block proposal (paper §5: 100 ms).

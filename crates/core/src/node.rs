@@ -1,8 +1,9 @@
 //! The DispersedLedger node automaton (paper §4).
 //!
-//! [`Node`] is the sans-IO engine every driver programs against. It exposes
-//! exactly three entry points — [`Node::submit_tx`], [`Node::handle`] and
-//! [`Node::poll`] — each returning a batch of [`NodeEffect`]s for the driver
+//! [`Node`] is the sans-IO engine every driver programs against, via the
+//! [`crate::Engine`] trait. It exposes exactly three entry points —
+//! [`Node::submit_tx`], [`Node::handle`] and [`Node::poll`] — each writing
+//! its effects into a caller-supplied [`crate::EffectSink`] for the driver
 //! to execute. The node multiplexes, per epoch, `N` VID instances (one
 //! [`VidServer`] per proposer plus our own [`Disperser`] and on-demand
 //! [`Retriever`]s) and `N` [`Ba`] instances, and routes incoming
@@ -55,15 +56,19 @@ use dl_vid::{Coder, Disperser, Retrieved, Retriever, VidEffect, VidServer};
 use dl_wire::{BaMsg, Block, BlockHeader, Envelope, Epoch, NodeId, ProtoMsg, Tx, VidMsg};
 
 use crate::coder::BlockCoder;
+use crate::engine::{EffectSink, Engine};
 use crate::linking::{compute_linking_estimate, CompletionTracker, Observation};
 use crate::queue::InputQueue;
 use crate::variant::{NodeConfig, ProposeGate};
 
-/// Effects emitted by the node automaton for the driver to execute.
+/// The reified effect vocabulary of the node automaton.
 ///
-/// This is the *entire* driver-facing contract: transports, simulators and
-/// benchmarks consume these plus the three entry points, never the inner
-/// protocol types.
+/// Engines emit effects by calling the corresponding [`EffectSink`]
+/// methods; this enum is the *value* form of that vocabulary, used where
+/// effects are stored or inspected (`Vec<NodeEffect>` is itself a sink).
+/// Together with the three [`Engine`] entry points this is the entire
+/// driver-facing contract: transports, simulators and benchmarks never see
+/// the inner protocol types.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum NodeEffect {
     /// Put this envelope on the wire to one peer. The node never sends to
@@ -299,36 +304,36 @@ impl<C: BlockCoder> Node<C> {
     }
 
     /// Entry point 1/3: a client submits a transaction at this node.
-    pub fn submit_tx(&mut self, tx: Tx, now: u64) -> Vec<NodeEffect> {
+    pub fn submit_tx(&mut self, tx: Tx, now: u64, sink: &mut dyn EffectSink) {
         self.stats.txs_submitted += 1;
         self.queue.push(tx);
-        self.run(VecDeque::new(), now)
+        self.run(VecDeque::new(), now, sink)
     }
 
     /// Entry point 2/3: a peer's envelope arrived. `from` is the
     /// transport-authenticated sender. Malformed, out-of-range and
     /// too-far-future envelopes are dropped (Byzantine peers may send
     /// anything).
-    pub fn handle(&mut self, from: NodeId, env: Envelope, now: u64) -> Vec<NodeEffect> {
+    pub fn handle(&mut self, from: NodeId, env: Envelope, now: u64, sink: &mut dyn EffectSink) {
         let n = self.cfg.cluster.n;
         let e = env.epoch.0;
         if e == 0 || e > self.agreement_frontier + self.cfg.epoch_lookahead {
-            return Vec::new(); // anti-DoS epoch bound
+            return; // anti-DoS epoch bound
         }
         // Below the GC horizon we only keep routing to epochs that still
         // hold live state (undelivered slots awaiting a linking rescue);
         // fully-collected epochs must not be resurrected by stale or
         // Byzantine traffic.
         if e < self.gc_horizon && !self.epochs.contains_key(&e) {
-            return Vec::new();
+            return;
         }
         if env.index.idx() >= n || from.idx() >= n {
-            return Vec::new();
+            return;
         }
         // §4.2 footnote 3: chunks of `VID^e_i` are only accepted from node
         // `i` itself — anyone else pushing chunks is Byzantine.
         if matches!(env.payload, ProtoMsg::Vid(VidMsg::Chunk { .. })) && from != env.index {
-            return Vec::new();
+            return;
         }
         self.ensure_epoch(e);
         if from != self.me {
@@ -350,38 +355,36 @@ impl<C: BlockCoder> Node<C> {
                 msg,
             },
         });
-        self.run(work, now)
+        self.run(work, now, sink)
     }
 
     /// Entry point 3/3: the clock advanced. Drives the Nagle proposal rule
     /// and anything else that is time- rather than message-triggered.
-    pub fn poll(&mut self, now: u64) -> Vec<NodeEffect> {
-        self.run(VecDeque::new(), now)
+    pub fn poll(&mut self, now: u64, sink: &mut dyn EffectSink) {
+        self.run(VecDeque::new(), now, sink)
     }
 
     // ---- the engine ----
 
     /// Central pump: drain the work queue, then advance the epoch pipeline
     /// (deliveries, proposals), repeating until a fixed point.
-    fn run(&mut self, mut work: VecDeque<Work>, now: u64) -> Vec<NodeEffect> {
+    fn run(&mut self, mut work: VecDeque<Work>, now: u64, sink: &mut dyn EffectSink) {
         if !self.clock_started {
             self.clock_started = true;
             self.epoch_entered_ms = now;
         }
-        let mut out = Vec::new();
         loop {
             while let Some(w) = work.pop_front() {
-                self.step(w, &mut work, &mut out);
+                self.step(w, &mut work, sink);
             }
-            self.advance(now, &mut work, &mut out);
+            self.advance(now, &mut work, sink);
             if work.is_empty() {
                 break;
             }
         }
-        out
     }
 
-    fn step(&mut self, w: Work, work: &mut VecDeque<Work>, out: &mut Vec<NodeEffect>) {
+    fn step(&mut self, w: Work, work: &mut VecDeque<Work>, out: &mut dyn EffectSink) {
         match w {
             Work::Vid {
                 epoch,
@@ -443,7 +446,7 @@ impl<C: BlockCoder> Node<C> {
         index: usize,
         effects: Vec<VidEffect<C::Block>>,
         work: &mut VecDeque<Work>,
-        out: &mut Vec<NodeEffect>,
+        out: &mut dyn EffectSink,
     ) {
         for eff in effects {
             match eff {
@@ -494,7 +497,7 @@ impl<C: BlockCoder> Node<C> {
         index: usize,
         effects: Vec<BaEffect>,
         work: &mut VecDeque<Work>,
-        out: &mut Vec<NodeEffect>,
+        out: &mut dyn EffectSink,
     ) {
         for eff in effects {
             match eff {
@@ -522,10 +525,10 @@ impl<C: BlockCoder> Node<C> {
         }
     }
 
-    fn push_send(&mut self, to: NodeId, env: Envelope, out: &mut Vec<NodeEffect>) {
+    fn push_send(&mut self, to: NodeId, env: Envelope, out: &mut dyn EffectSink) {
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += env.wire_size() as u64;
-        out.push(NodeEffect::Send(to, env));
+        out.send(to, env);
     }
 
     /// `VID^epoch_index` completed locally (the `Complete` event of Fig. 3).
@@ -534,7 +537,7 @@ impl<C: BlockCoder> Node<C> {
         epoch: u64,
         index: usize,
         work: &mut VecDeque<Work>,
-        out: &mut Vec<NodeEffect>,
+        out: &mut dyn EffectSink,
     ) {
         self.trackers[index].complete(Epoch(epoch));
         // Only linking variants can rescue a completed-but-uncommitted
@@ -611,7 +614,7 @@ impl<C: BlockCoder> Node<C> {
         index: usize,
         value: bool,
         work: &mut VecDeque<Work>,
-        out: &mut Vec<NodeEffect>,
+        out: &mut dyn EffectSink,
     ) {
         let n = self.cfg.cluster.n;
         let f = self.cfg.cluster.f;
@@ -657,7 +660,7 @@ impl<C: BlockCoder> Node<C> {
         epoch: u64,
         index: usize,
         work: &mut VecDeque<Work>,
-        out: &mut Vec<NodeEffect>,
+        out: &mut dyn EffectSink,
     ) {
         self.ensure_epoch(epoch);
         let st = self.epochs.get_mut(&epoch).expect("just ensured");
@@ -672,7 +675,7 @@ impl<C: BlockCoder> Node<C> {
 
     /// Time- and pipeline-driven progress: deliveries, epoch advancement,
     /// proposals, wake-up hints.
-    fn advance(&mut self, now: u64, work: &mut VecDeque<Work>, out: &mut Vec<NodeEffect>) {
+    fn advance(&mut self, now: u64, work: &mut VecDeque<Work>, out: &mut dyn EffectSink) {
         while self.try_finalize_next(now, work, out) {}
         // Epoch progression for proposals: DispersedLedger moves on when
         // agreement finishes; HoneyBadger waits for full delivery (§6.2).
@@ -699,7 +702,7 @@ impl<C: BlockCoder> Node<C> {
             if pressure || !self.queue.is_empty() || self.link_rescue_pending() {
                 let due = self.epoch_entered_ms + self.cfg.propose_delay_ms;
                 if now < due {
-                    out.push(NodeEffect::WakeAt(due));
+                    out.wake_at(due);
                 }
             }
         }
@@ -708,7 +711,7 @@ impl<C: BlockCoder> Node<C> {
     /// The Nagle proposal rule (§5): propose when enough bytes queued, or
     /// when the delay elapsed and there is either something to propose or
     /// peer pressure to keep the epoch moving.
-    fn maybe_propose(&mut self, now: u64, work: &mut VecDeque<Work>, out: &mut Vec<NodeEffect>) {
+    fn maybe_propose(&mut self, now: u64, work: &mut VecDeque<Work>, out: &mut dyn EffectSink) {
         let e = self.next_propose_epoch;
         if self.proposed_up_to >= e {
             return;
@@ -743,7 +746,7 @@ impl<C: BlockCoder> Node<C> {
             })
     }
 
-    fn propose(&mut self, epoch: u64, work: &mut VecDeque<Work>, out: &mut Vec<NodeEffect>) {
+    fn propose(&mut self, epoch: u64, work: &mut VecDeque<Work>, out: &mut dyn EffectSink) {
         self.ensure_epoch(epoch);
         // DL-Coupled (§4.5): while retrieval lags more than `lag_limit`
         // epochs behind, propose an empty block so spam cannot outrun
@@ -772,12 +775,12 @@ impl<C: BlockCoder> Node<C> {
         if block.body.is_empty() {
             self.stats.empty_blocks_proposed += 1;
         }
-        out.push(NodeEffect::Stat(StatEvent::Proposed {
+        out.stat(StatEvent::Proposed {
             epoch: Epoch(epoch),
             txs: block.tx_count(),
             payload_bytes: block.payload_bytes(),
             empty: block.body.is_empty(),
-        }));
+        });
         // Without linking our block can miss the commit and be dropped
         // (§4.2): keep the body so it can be re-queued. With linking every
         // completed dispersal is eventually delivered, so nothing to keep.
@@ -799,7 +802,7 @@ impl<C: BlockCoder> Node<C> {
         &mut self,
         now: u64,
         work: &mut VecDeque<Work>,
-        out: &mut Vec<NodeEffect>,
+        out: &mut dyn EffectSink,
     ) -> bool {
         let n = self.cfg.cluster.n;
         let f = self.cfg.cluster.f;
@@ -900,13 +903,13 @@ impl<C: BlockCoder> Node<C> {
                 Some(b) => self.stats.txs_delivered += b.tx_count() as u64,
                 None => self.stats.malformed_blocks_delivered += 1,
             }
-            out.push(NodeEffect::Deliver(DeliveredBlock {
+            out.deliver(DeliveredBlock {
                 epoch: Epoch(t),
                 proposer: NodeId(j),
                 block,
                 via_link,
                 delivered_ms: now,
-            }));
+            });
         }
         // §4.2: without linking, a dropped proposal's transactions go back
         // to the front of the queue.
@@ -918,10 +921,10 @@ impl<C: BlockCoder> Node<C> {
                 self.queue.push_front_batch(txs);
             }
         }
-        out.push(NodeEffect::Stat(StatEvent::EpochDelivered {
+        out.stat(StatEvent::EpochDelivered {
             epoch: Epoch(epoch),
             blocks: to_deliver.len(),
-        }));
+        });
         self.stats.epochs_delivered += 1;
         self.delivered_frontier = epoch;
         self.gc_epochs();
@@ -1003,10 +1006,33 @@ impl<C: BlockCoder> Node<C> {
     }
 }
 
+impl<C: BlockCoder> Engine for Node<C> {
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn submit_tx(&mut self, tx: Tx, now: u64, sink: &mut dyn EffectSink) {
+        Node::submit_tx(self, tx, now, sink)
+    }
+
+    fn handle(&mut self, from: NodeId, env: Envelope, now: u64, sink: &mut dyn EffectSink) {
+        Node::handle(self, from, env, now, sink)
+    }
+
+    fn poll(&mut self, now: u64, sink: &mut dyn EffectSink) {
+        Node::poll(self, now, sink)
+    }
+
+    fn stats(&self) -> Option<NodeStats> {
+        Some(self.stats)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::coder::RealBlockCoder;
+    use crate::engine::EngineExt;
     use crate::variant::ProtocolVariant;
     use dl_wire::ClusterConfig;
 
@@ -1052,7 +1078,7 @@ mod tests {
         }
 
         fn submit(&mut self, node: usize, tx: Tx) {
-            let effs = self.nodes[node].submit_tx(tx, self.now);
+            let effs = self.nodes[node].submit_tx_vec(tx, self.now);
             self.sink(node, effs);
         }
 
@@ -1066,14 +1092,14 @@ mod tests {
                     if mute.contains(&i) {
                         continue;
                     }
-                    let effs = self.nodes[i].poll(self.now);
+                    let effs = self.nodes[i].poll_vec(self.now);
                     self.sink(i, effs);
                 }
                 while let Some((from, to, env)) = self.wire.pop_front() {
                     if mute.contains(&to.idx()) {
                         continue;
                     }
-                    let effs = self.nodes[to.idx()].handle(from, env, self.now);
+                    let effs = self.nodes[to.idx()].handle_vec(from, env, self.now);
                     self.sink(to.idx(), effs);
                 }
             }
@@ -1160,7 +1186,7 @@ mod tests {
         let cluster = ClusterConfig::new(4);
         let cfg = NodeConfig::new(cluster.clone(), ProtocolVariant::Dl);
         let mut node = Node::new(NodeId(0), cfg, RealBlockCoder::new(&cluster));
-        let effs = node.submit_tx(Tx::synthetic(NodeId(0), 0, 0, 100), 0);
+        let effs = node.submit_tx_vec(Tx::synthetic(NodeId(0), 0, 0, 100), 0);
         assert!(
             !effs.iter().any(|e| matches!(e, NodeEffect::Send(..))),
             "proposed before the Nagle delay"
@@ -1170,10 +1196,10 @@ mod tests {
             "no wake-up hint for the pending proposal: {effs:?}"
         );
         assert!(!node
-            .poll(99)
+            .poll_vec(99)
             .iter()
             .any(|e| matches!(e, NodeEffect::Send(..))));
-        let effs = node.poll(100);
+        let effs = node.poll_vec(100);
         assert!(
             effs.iter().any(|e| matches!(e, NodeEffect::Send(..))),
             "Nagle delay elapsed but nothing proposed"
@@ -1187,7 +1213,7 @@ mod tests {
         let cfg = NodeConfig::new(cluster.clone(), ProtocolVariant::Dl);
         let size = cfg.propose_size;
         let mut node = Node::new(NodeId(0), cfg, RealBlockCoder::new(&cluster));
-        let effs = node.submit_tx(Tx::synthetic(NodeId(0), 0, 0, size as u32), 5);
+        let effs = node.submit_tx_vec(Tx::synthetic(NodeId(0), 0, 0, size as u32), 5);
         assert!(
             effs.iter().any(|e| matches!(e, NodeEffect::Send(..))),
             "size threshold must bypass the delay"
@@ -1200,7 +1226,7 @@ mod tests {
         let cfg = NodeConfig::new(cluster.clone(), ProtocolVariant::Dl);
         let mut node = Node::new(NodeId(0), cfg, RealBlockCoder::new(&cluster));
         for t in [0, 100, 1000, 10_000] {
-            assert!(node.poll(t).is_empty(), "idle node acted at t={t}");
+            assert!(node.poll_vec(t).is_empty(), "idle node acted at t={t}");
         }
         assert_eq!(node.stats().blocks_proposed, 0);
     }
@@ -1219,7 +1245,7 @@ mod tests {
                 value: true,
             },
         );
-        assert!(node.handle(NodeId(1), env, 0).is_empty());
+        assert!(node.handle_vec(NodeId(1), env, 0).is_empty());
         // In-range envelopes are processed (they create epoch state).
         let env = Envelope::ba(
             Epoch(1),
@@ -1229,7 +1255,7 @@ mod tests {
                 value: true,
             },
         );
-        node.handle(NodeId(1), env, 0);
+        node.handle_vec(NodeId(1), env, 0);
         assert_eq!(node.agreement_frontier(), Epoch(0));
     }
 
@@ -1253,9 +1279,9 @@ mod tests {
                 payload,
             },
         );
-        assert!(node.handle(NodeId(3), env.clone(), 0).is_empty());
+        assert!(node.handle_vec(NodeId(3), env.clone(), 0).is_empty());
         // The same chunk from its proposer is accepted (GotChunk goes out).
-        let effs = node.handle(NodeId(2), env, 0);
+        let effs = node.handle_vec(NodeId(2), env, 0);
         assert!(effs.iter().any(|e| matches!(e, NodeEffect::Send(..))));
     }
 
@@ -1317,14 +1343,14 @@ mod tests {
         let cluster = ClusterConfig::new(4);
         let cfg = NodeConfig::new(cluster.clone(), ProtocolVariant::Dl);
         let mut node = Node::new(NodeId(0), cfg, RealBlockCoder::new(&cluster));
-        let effs = node.submit_tx(Tx::synthetic(NodeId(0), 0, 5000, 100), 5000);
+        let effs = node.submit_tx_vec(Tx::synthetic(NodeId(0), 0, 5000, 100), 5000);
         assert!(
             !effs.iter().any(|e| matches!(e, NodeEffect::Send(..))),
             "first-ever submit bypassed the Nagle delay"
         );
         assert!(effs.iter().any(|e| matches!(e, NodeEffect::WakeAt(5100))));
         assert!(node
-            .poll(5100)
+            .poll_vec(5100)
             .iter()
             .any(|e| matches!(e, NodeEffect::Send(..))));
     }

@@ -1,0 +1,173 @@
+//! Driver-agnostic transport pieces: the [`Transport`] seam and the §5
+//! two-class prioritized [`SendQueue`].
+//!
+//! The paper's §5 send rule — dispersal traffic strictly before retrieval
+//! traffic, retrieval traffic in epoch order, FIFO within a class — is a
+//! property of the *transport*, not of any one driver. It used to live
+//! inside the discrete-event simulator; now both the simulator's link model
+//! and the real TCP transport (`dl-net`) drain a [`SendQueue`] per directed
+//! peer link, so the prioritization measured in virtual time is the same
+//! code that runs on real sockets.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use dl_wire::{Envelope, NodeId, TrafficClass};
+
+/// A cluster's message fabric, as seen by a driver routing engine `send`
+/// effects. Implemented by the simulator (envelopes enter a virtual link)
+/// and by `dl-net` (envelopes enter a per-peer TCP outbox).
+pub trait Transport {
+    /// Queue `env` from `from` for delivery to `to`, honoring the §5
+    /// priorities. `from != to`: engines loop self-traffic internally.
+    fn send(&mut self, from: NodeId, to: NodeId, env: Envelope);
+}
+
+/// An envelope waiting for its turn on a link, keyed by the §5 send
+/// priority.
+struct QueuedEnv {
+    class: TrafficClass,
+    seq: u64,
+    env: Envelope,
+}
+
+impl PartialEq for QueuedEnv {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for QueuedEnv {}
+impl PartialOrd for QueuedEnv {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEnv {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the *lowest* (class, seq) —
+        // dispersal first, then earliest-epoch retrieval, FIFO within a
+        // class — is popped first.
+        (other.class, other.seq).cmp(&(self.class, self.seq))
+    }
+}
+
+/// The per-link send queue: pops envelopes dispersal-first, then retrieval
+/// in epoch order, FIFO within a class. Tracks queued wire bytes so
+/// transports can apply byte-bounded backpressure.
+#[derive(Default)]
+pub struct SendQueue {
+    heap: BinaryHeap<QueuedEnv>,
+    seq: u64,
+    bytes: usize,
+}
+
+impl SendQueue {
+    pub fn new() -> SendQueue {
+        SendQueue::default()
+    }
+
+    /// Queue `env` with its [`TrafficClass`] priority.
+    pub fn push(&mut self, env: Envelope) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.bytes += env.wire_size();
+        self.heap.push(QueuedEnv {
+            class: env.class(),
+            seq,
+            env,
+        });
+    }
+
+    /// The highest-priority queued envelope, if any.
+    pub fn pop(&mut self) -> Option<Envelope> {
+        let q = self.heap.pop()?;
+        self.bytes -= q.env.wire_size();
+        Some(q.env)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total `wire_size` of everything queued (framing included).
+    pub fn queued_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_crypto::Hash;
+    use dl_wire::{Epoch, VidMsg};
+
+    fn retrieval(e: u64) -> Envelope {
+        Envelope::vid(Epoch(e), NodeId(0), VidMsg::RequestChunk)
+    }
+
+    fn dispersal(e: u64) -> Envelope {
+        Envelope::vid(
+            Epoch(e),
+            NodeId(0),
+            VidMsg::GotChunk {
+                root: Hash::digest(b"r"),
+            },
+        )
+    }
+
+    #[test]
+    fn pops_dispersal_first_then_retrieval_in_epoch_order() {
+        let mut q = SendQueue::new();
+        q.push(retrieval(7));
+        q.push(retrieval(2));
+        q.push(dispersal(9));
+        q.push(dispersal(1));
+        let order: Vec<TrafficClass> = std::iter::from_fn(|| q.pop())
+            .map(|env| env.class())
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                TrafficClass::Dispersal,
+                TrafficClass::Dispersal,
+                TrafficClass::Retrieval(Epoch(2)),
+                TrafficClass::Retrieval(Epoch(7)),
+            ]
+        );
+    }
+
+    #[test]
+    fn fifo_within_a_class() {
+        let mut q = SendQueue::new();
+        // Two dispersal messages for different epochs: insertion order wins,
+        // not epoch (dispersal is one class).
+        let a = dispersal(5);
+        let b = dispersal(1);
+        q.push(a.clone());
+        q.push(b.clone());
+        assert_eq!(q.pop(), Some(a));
+        assert_eq!(q.pop(), Some(b));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_wire_size() {
+        let mut q = SendQueue::new();
+        assert_eq!(q.queued_bytes(), 0);
+        let env = dispersal(1);
+        let size = env.wire_size();
+        q.push(env.clone());
+        q.push(env);
+        assert_eq!(q.queued_bytes(), 2 * size);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.queued_bytes(), size);
+        q.pop();
+        assert_eq!(q.queued_bytes(), 0);
+        assert!(q.is_empty());
+    }
+}

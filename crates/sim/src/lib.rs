@@ -1,38 +1,42 @@
 //! Discrete-event network driver for the DispersedLedger node engine.
 //!
-//! `dl-sim` runs a cluster of [`dl_core::Node`] automata over a simulated
-//! WAN: every ordered pair of nodes is connected by a [`LinkSpec`] with its
-//! own bandwidth and propagation latency, so the variable-bandwidth
-//! scenarios of the paper's §6 evaluation (one slow node, asymmetric links,
-//! …) can be reproduced deterministically and in virtual time.
+//! `dl-sim` runs a cluster of [`dl_core::Engine`]s over a simulated WAN:
+//! every ordered pair of nodes is connected by a [`LinkSpec`] with its own
+//! bandwidth and propagation latency, so the variable-bandwidth scenarios
+//! of the paper's §6 evaluation (one slow node, asymmetric links, …) can be
+//! reproduced deterministically and in virtual time.
 //!
 //! ## Link model
 //!
 //! Each directed link serializes messages: a message of `wire_size()` bytes
 //! occupies the link for `size / bandwidth` milliseconds, then arrives
-//! `latency` milliseconds later. Queued messages are sent in the two-class
-//! priority order of §5, encoded by [`TrafficClass`]: dispersal traffic
-//! (chunks and all agreement control messages) strictly before retrieval
-//! traffic, and retrieval traffic in epoch order — the rule that lets a
-//! node keep *voting* at full speed while it catches up on block downloads.
+//! `latency` milliseconds later. Queued messages drain in the two-class
+//! priority order of §5 via the shared [`SendQueue`] (the same queue the
+//! real TCP transport `dl-net` drains): dispersal traffic strictly before
+//! retrieval traffic, and retrieval traffic in epoch order — the rule that
+//! lets a node keep *voting* at full speed while it catches up on block
+//! downloads.
 //!
 //! ## Drivers and quiescence
 //!
-//! The simulator is a pure [`NodeEffect`] interpreter: `Send` becomes a
-//! link transmission, `WakeAt` schedules a future [`dl_core::Node::poll`],
-//! `Deliver`/`Stat` are recorded into the [`SimReport`]. Because the engine
-//! is quiescent-by-design (an idle cluster emits nothing), "the event heap
-//! drained" is exactly "the protocol finished all outstanding work", which
-//! is what [`Simulation::run_until_quiescent`] reports.
+//! The simulator is an [`EffectSink`]: engine `send`s become link
+//! transmissions, `wake_at` schedules a future [`Engine::poll`], and
+//! `deliver`/`stat` are recorded into the [`SimReport`]. Cluster slots are
+//! held uniformly as `Box<dyn Engine>` — honest, mute and equivocating
+//! members are interchangeable, with no dispatch enum in the driver.
+//! Because the engine is quiescent-by-design (an idle cluster emits
+//! nothing), "the event heap drained" is exactly "the protocol finished all
+//! outstanding work", which is what [`Simulation::run_until_quiescent`]
+//! reports.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
 use dl_core::{
-    ByzantineBehavior, ByzantineNode, DeliveredBlock, Node, NodeConfig, NodeEffect, NodeStats,
-    ProtocolVariant, RealBlockCoder, StatEvent,
+    ByzantineBehavior, ByzantineNode, DeliveredBlock, EffectSink, Engine, Node, NodeConfig,
+    NodeStats, ProtocolVariant, RealBlockCoder, SendQueue, StatEvent, Transport,
 };
-use dl_wire::{ClusterConfig, Envelope, NodeId, TrafficClass, Tx};
+use dl_wire::{ClusterConfig, Envelope, NodeId, Tx};
 
 /// Bandwidth and propagation delay of one directed link.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -116,43 +120,10 @@ impl SimReport {
     }
 }
 
-enum SimNode {
-    Honest(Box<Node<RealBlockCoder>>),
-    Byzantine(Box<ByzantineNode<RealBlockCoder>>),
-    Mute,
-}
-
-/// A message waiting for its turn on a link, keyed by the §5 send priority.
-struct Queued {
-    class: TrafficClass,
-    seq: u64,
-    env: Envelope,
-}
-
-impl PartialEq for Queued {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-impl Eq for Queued {}
-impl PartialOrd for Queued {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Queued {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap: invert so the *lowest* (class, seq) —
-        // dispersal first, then earliest-epoch retrieval, FIFO within a
-        // class — is popped first.
-        (other.class, other.seq).cmp(&(self.class, self.seq))
-    }
-}
-
 struct Link {
     spec: LinkSpec,
     busy_until: u64,
-    queue: BinaryHeap<Queued>,
+    queue: SendQueue,
 }
 
 enum EvKind {
@@ -199,10 +170,11 @@ impl Ord for Ev {
     }
 }
 
-/// A deterministic discrete-event run of one cluster.
-pub struct Simulation {
+/// Everything of the simulation except the engines themselves: the link
+/// fabric, the event heap and the recorded outcomes. Split out so a sink
+/// borrowing the fabric can run alongside a mutably-borrowed engine.
+struct Fabric {
     cfg: SimConfig,
-    nodes: Vec<SimNode>,
     /// Row-major `n × n` directed links (the diagonal is unused: nodes
     /// loop their own traffic back internally).
     links: Vec<Link>,
@@ -214,68 +186,157 @@ pub struct Simulation {
     stat_events: Vec<(u64, NodeId, StatEvent)>,
 }
 
+impl Fabric {
+    fn push_event(&mut self, at: u64, kind: EvKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Ev { at, seq, kind });
+    }
+
+    /// Start the next transmission on the link if it is idle.
+    fn pump_link(&mut self, from: NodeId, to: NodeId) {
+        let now = self.now;
+        let link = &mut self.links[from.idx() * self.cfg.cluster.n + to.idx()];
+        if link.busy_until > now {
+            return; // a LinkReady event will re-pump
+        }
+        let Some(env) = link.queue.pop() else { return };
+        let tx_ms = link.spec.tx_ms(env.wire_size());
+        let latency = link.spec.latency_ms;
+        link.busy_until = now + tx_ms;
+        self.push_event(now + tx_ms, EvKind::LinkReady { from, to });
+        self.push_event(now + tx_ms + latency, EvKind::Arrive { from, to, env });
+    }
+}
+
+/// The virtual network is one of the two [`Transport`] implementations in
+/// the workspace (the other is `dl-net`'s TCP mesh): `send` enqueues on the
+/// directed link's [`SendQueue`] and starts a transmission if the link is
+/// idle.
+impl Transport for Fabric {
+    fn send(&mut self, from: NodeId, to: NodeId, env: Envelope) {
+        assert_ne!(from, to, "nodes must loop self-traffic back internally");
+        self.links[from.idx() * self.cfg.cluster.n + to.idx()]
+            .queue
+            .push(env);
+        self.pump_link(from, to);
+    }
+}
+
+/// The per-engine-call effect sink: routes effects of the engine currently
+/// holding the turn (`from`) into the fabric.
+struct FabricSink<'a> {
+    from: NodeId,
+    fabric: &'a mut Fabric,
+}
+
+impl EffectSink for FabricSink<'_> {
+    fn send(&mut self, to: NodeId, env: Envelope) {
+        self.fabric.send(self.from, to, env);
+    }
+
+    fn deliver(&mut self, block: DeliveredBlock) {
+        self.fabric.delivered[self.from.idx()].push(block);
+    }
+
+    fn wake_at(&mut self, at_ms: u64) {
+        let at = at_ms.max(self.fabric.now + 1);
+        if self.fabric.scheduled_polls.insert((at, self.from.0)) {
+            self.fabric.push_event(at, EvKind::Poll { node: self.from });
+        }
+    }
+
+    fn stat(&mut self, event: StatEvent) {
+        self.fabric
+            .stat_events
+            .push((self.fabric.now, self.from, event));
+    }
+}
+
+/// A deterministic discrete-event run of one cluster.
+pub struct Simulation {
+    nodes: Vec<Box<dyn Engine>>,
+    fabric: Fabric,
+}
+
 impl Simulation {
     pub fn new(cfg: SimConfig) -> Simulation {
         let n = cfg.cluster.n;
         let node_cfg = NodeConfig::new(cfg.cluster.clone(), cfg.variant);
         let nodes = (0..n)
             .map(|i| {
-                SimNode::Honest(Box::new(Node::new(
+                Box::new(Node::new(
                     NodeId(i as u16),
                     node_cfg.clone(),
                     RealBlockCoder::new(&cfg.cluster),
-                )))
+                )) as Box<dyn Engine>
             })
             .collect();
         let links = (0..n * n)
             .map(|_| Link {
                 spec: cfg.default_link,
                 busy_until: 0,
-                queue: BinaryHeap::new(),
+                queue: SendQueue::new(),
             })
             .collect();
         Simulation {
-            cfg,
             nodes,
-            links,
-            events: BinaryHeap::new(),
-            seq: 0,
-            now: 0,
-            scheduled_polls: HashSet::new(),
-            delivered: vec![Vec::new(); n],
-            stat_events: Vec::new(),
+            fabric: Fabric {
+                cfg,
+                links,
+                events: BinaryHeap::new(),
+                seq: 0,
+                now: 0,
+                scheduled_polls: HashSet::new(),
+                delivered: vec![Vec::new(); n],
+                stat_events: Vec::new(),
+            },
         }
     }
 
     /// Replace the slot of `node` with a faulty member. Call before the
     /// first `run_until_quiescent`.
     pub fn set_node_kind(&mut self, node: usize, kind: SimNodeKind) {
-        let node_cfg = NodeConfig::new(self.cfg.cluster.clone(), self.cfg.variant);
-        self.nodes[node] = match kind {
-            SimNodeKind::Honest => SimNode::Honest(Box::new(Node::new(
+        let cluster = &self.fabric.cfg.cluster;
+        let node_cfg = NodeConfig::new(cluster.clone(), self.fabric.cfg.variant);
+        let engine: Box<dyn Engine> = match kind {
+            SimNodeKind::Honest => Box::new(Node::new(
                 NodeId(node as u16),
                 node_cfg,
-                RealBlockCoder::new(&self.cfg.cluster),
-            ))),
-            SimNodeKind::Mute => SimNode::Mute,
-            SimNodeKind::Equivocate => SimNode::Byzantine(Box::new(ByzantineNode::new(
+                RealBlockCoder::new(cluster),
+            )),
+            SimNodeKind::Mute => Box::new(ByzantineNode::new(
                 NodeId(node as u16),
                 node_cfg,
-                RealBlockCoder::new(&self.cfg.cluster),
+                RealBlockCoder::new(cluster),
+                ByzantineBehavior::Mute,
+            )),
+            SimNodeKind::Equivocate => Box::new(ByzantineNode::new(
+                NodeId(node as u16),
+                node_cfg,
+                RealBlockCoder::new(cluster),
                 ByzantineBehavior::Equivocate,
-            ))),
+            )),
         };
+        self.set_engine(node, engine);
+    }
+
+    /// Install an arbitrary engine into a cluster slot (custom Byzantine
+    /// behaviours, instrumented wrappers, …).
+    pub fn set_engine(&mut self, node: usize, engine: Box<dyn Engine>) {
+        assert_eq!(engine.id(), NodeId(node as u16), "engine id/slot mismatch");
+        self.nodes[node] = engine;
     }
 
     /// Override one directed link.
     pub fn set_link(&mut self, from: usize, to: usize, spec: LinkSpec) {
-        self.links[from * self.cfg.cluster.n + to].spec = spec;
+        self.fabric.links[from * self.fabric.cfg.cluster.n + to].spec = spec;
     }
 
     /// Give `node` a different uplink to every peer (the paper's
     /// "one slow node" scenarios).
     pub fn set_uplink(&mut self, node: usize, spec: LinkSpec) {
-        for to in 0..self.cfg.cluster.n {
+        for to in 0..self.fabric.cfg.cluster.n {
             if to != node {
                 self.set_link(node, to, spec);
             }
@@ -284,7 +345,7 @@ impl Simulation {
 
     /// Schedule a client transaction submission at `at_ms`.
     pub fn submit_at(&mut self, node: usize, at_ms: u64, tx: Tx) {
-        self.push_event(
+        self.fabric.push_event(
             at_ms,
             EvKind::Submit {
                 node: NodeId(node as u16),
@@ -298,9 +359,10 @@ impl Simulation {
     /// past the deadline) in place, so the run can be resumed with a later
     /// deadline.
     pub fn run_until_quiescent(&mut self, max_ms: u64) -> SimReport {
+        let Simulation { nodes, fabric } = self;
         let mut quiesced = true;
         loop {
-            match self.events.peek() {
+            match fabric.events.peek() {
                 None => break,
                 Some(ev) if ev.at > max_ms => {
                     quiesced = false;
@@ -308,127 +370,41 @@ impl Simulation {
                 }
                 Some(_) => {}
             }
-            let ev = self.events.pop().expect("peeked above");
-            self.now = self.now.max(ev.at);
+            let ev = fabric.events.pop().expect("peeked above");
+            fabric.now = fabric.now.max(ev.at);
+            let now = fabric.now;
             match ev.kind {
                 EvKind::Submit { node, tx } => {
-                    let now = self.now;
-                    let effects = match &mut self.nodes[node.idx()] {
-                        SimNode::Honest(n) => n.submit_tx(tx, now),
-                        SimNode::Byzantine(b) => b.submit_tx(tx, now),
-                        SimNode::Mute => Vec::new(),
-                    };
-                    self.apply(node, effects);
+                    nodes[node.idx()].submit_tx(tx, now, &mut FabricSink { from: node, fabric });
                 }
                 EvKind::Poll { node } => {
-                    self.scheduled_polls.remove(&(ev.at, node.0));
-                    let now = self.now;
-                    let effects = match &mut self.nodes[node.idx()] {
-                        SimNode::Honest(n) => n.poll(now),
-                        SimNode::Byzantine(b) => b.poll(now),
-                        SimNode::Mute => Vec::new(),
-                    };
-                    self.apply(node, effects);
+                    fabric.scheduled_polls.remove(&(ev.at, node.0));
+                    nodes[node.idx()].poll(now, &mut FabricSink { from: node, fabric });
                 }
                 EvKind::Arrive { from, to, env } => {
-                    let now = self.now;
-                    let effects = match &mut self.nodes[to.idx()] {
-                        SimNode::Honest(n) => n.handle(from, env, now),
-                        SimNode::Byzantine(b) => b.handle(from, env, now),
-                        SimNode::Mute => Vec::new(),
-                    };
-                    self.apply(to, effects);
+                    nodes[to.idx()].handle(from, env, now, &mut FabricSink { from: to, fabric });
                 }
-                EvKind::LinkReady { from, to } => self.pump_link(from, to),
+                EvKind::LinkReady { from, to } => fabric.pump_link(from, to),
             }
         }
         SimReport {
-            now_ms: self.now,
+            now_ms: fabric.now,
             quiesced,
-            delivered: self.delivered.clone(),
-            stats: self
-                .nodes
-                .iter()
-                .map(|n| match n {
-                    SimNode::Honest(n) => Some(*n.stats()),
-                    _ => None,
-                })
-                .collect(),
-            events: self.stat_events.clone(),
+            delivered: fabric.delivered.clone(),
+            stats: nodes.iter().map(|n| n.stats()).collect(),
+            events: fabric.stat_events.clone(),
         }
     }
 
     /// Virtual time of the last processed event.
     pub fn now_ms(&self) -> u64 {
-        self.now
-    }
-
-    fn apply(&mut self, from: NodeId, effects: Vec<NodeEffect>) {
-        for eff in effects {
-            match eff {
-                NodeEffect::Send(to, env) => self.send(from, to, env),
-                NodeEffect::Deliver(d) => self.delivered[from.idx()].push(d),
-                NodeEffect::WakeAt(at) => {
-                    let at = at.max(self.now + 1);
-                    if self.scheduled_polls.insert((at, from.0)) {
-                        self.push_event(at, EvKind::Poll { node: from });
-                    }
-                }
-                NodeEffect::Stat(s) => self.stat_events.push((self.now, from, s)),
-            }
-        }
-    }
-
-    fn send(&mut self, from: NodeId, to: NodeId, env: Envelope) {
-        assert_ne!(from, to, "nodes must loop self-traffic back internally");
-        let seq = self.seq;
-        self.seq += 1;
-        let link = &mut self.links[from.idx() * self.cfg.cluster.n + to.idx()];
-        link.queue.push(Queued {
-            class: env.class(),
-            seq,
-            env,
-        });
-        self.pump_link(from, to);
-    }
-
-    /// Start the next transmission on the link if it is idle.
-    fn pump_link(&mut self, from: NodeId, to: NodeId) {
-        let now = self.now;
-        let link = &mut self.links[from.idx() * self.cfg.cluster.n + to.idx()];
-        if link.busy_until > now {
-            return; // a LinkReady event will re-pump
-        }
-        let Some(q) = link.queue.pop() else { return };
-        let tx_ms = link.spec.tx_ms(q.env.wire_size());
-        let latency = link.spec.latency_ms;
-        link.busy_until = now + tx_ms;
-        self.push_event(now + tx_ms, EvKind::LinkReady { from, to });
-        self.push_event(
-            now + tx_ms + latency,
-            EvKind::Arrive {
-                from,
-                to,
-                env: q.env,
-            },
-        );
-    }
-
-    fn push_event(&mut self, at: u64, kind: EvKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.events.push(Ev { at, seq, kind });
+        self.fabric.now
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dl_wire::{Epoch, VidMsg};
-
-    fn hash() -> dl_crypto::Hash {
-        dl_crypto::Hash::digest(b"x")
-    }
 
     #[test]
     fn event_order_is_time_then_fifo() {
@@ -452,35 +428,6 @@ mod tests {
             .map(|e| (e.at, e.seq))
             .collect();
         assert_eq!(order, vec![(5, 0), (5, 2), (10, 1)]);
-    }
-
-    #[test]
-    fn link_queue_prioritizes_dispersal_then_epoch_order() {
-        let mut q: BinaryHeap<Queued> = BinaryHeap::new();
-        let ret = |e: u64, seq: u64| Queued {
-            class: TrafficClass::Retrieval(Epoch(e)),
-            seq,
-            env: Envelope::vid(Epoch(e), NodeId(0), VidMsg::RequestChunk),
-        };
-        let disp = |seq: u64| Queued {
-            class: TrafficClass::Dispersal,
-            seq,
-            env: Envelope::vid(Epoch(1), NodeId(0), VidMsg::GotChunk { root: hash() }),
-        };
-        q.push(ret(7, 0));
-        q.push(ret(2, 1));
-        q.push(disp(2));
-        q.push(disp(3));
-        let order: Vec<TrafficClass> = std::iter::from_fn(|| q.pop()).map(|i| i.class).collect();
-        assert_eq!(
-            order,
-            vec![
-                TrafficClass::Dispersal,
-                TrafficClass::Dispersal,
-                TrafficClass::Retrieval(Epoch(2)),
-                TrafficClass::Retrieval(Epoch(7)),
-            ]
-        );
     }
 
     #[test]

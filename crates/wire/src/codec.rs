@@ -31,6 +31,15 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
+/// Transport code mixes codec failures with socket failures; mapping to
+/// `InvalidData` (with the codec error as the source) lets it use `?`
+/// uniformly in `io::Result` functions.
+impl From<CodecError> for std::io::Error {
+    fn from(e: CodecError) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
 /// Upper bound on any single length-prefixed field (64 MiB). Blocks in the
 /// paper's experiments top out around 12 MB; this bound stops a Byzantine
 /// peer from making us allocate absurd buffers.

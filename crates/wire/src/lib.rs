@@ -13,11 +13,16 @@
 pub mod block;
 pub mod codec;
 pub mod config;
+pub mod frame;
 pub mod msg;
 pub mod nodeset;
 
 pub use block::{Block, BlockBody, BlockHeader, Tx};
 pub use codec::{CodecError, WireDecode, WireEncode};
 pub use config::{ClusterConfig, Epoch, NodeId};
+pub use frame::{
+    encode_frame, FrameDecoder, FrameError, SegmentBuf, WireEncodeSegmented, FRAME_HEADER_LEN,
+    MAX_FRAME_BODY,
+};
 pub use msg::{BaMsg, ChunkPayload, Envelope, ProtoMsg, TrafficClass, VidMsg, FRAME_OVERHEAD};
 pub use nodeset::NodeSet;

@@ -4,6 +4,7 @@
 
 use crate::codec::{read_u16, read_u32, read_u64, read_u8, CodecError, WireDecode, WireEncode};
 use crate::config::{Epoch, NodeId};
+use crate::frame::{SegmentBuf, WireEncodeSegmented};
 use bytes::Bytes;
 use dl_crypto::{Hash, MerkleProof};
 
@@ -46,19 +47,38 @@ impl ChunkPayload {
     }
 }
 
-impl WireEncode for ChunkPayload {
-    fn encode(&self, buf: &mut Vec<u8>) {
+impl WireEncodeSegmented for ChunkPayload {
+    fn encode_segments(&self, out: &mut SegmentBuf) {
         match self {
             ChunkPayload::Real(b) => {
-                buf.push(0);
-                b.encode(buf);
+                let head = out.head_mut();
+                head.push(0);
+                (b.len() as u32).encode(head);
+                // The payload rides as a shared window — for a dispersal
+                // chunk this is the erasure coder's arena, refcounted, not
+                // copied.
+                out.put_shared(b);
             }
             ChunkPayload::Synthetic { len } => {
-                buf.push(1);
-                len.encode(buf);
-                buf.extend(std::iter::repeat_n(0u8, *len as usize));
+                let head = out.head_mut();
+                head.push(1);
+                len.encode(head);
+                // Fluid-mode chunks have no real bytes; the wire image is
+                // zeros of the declared length so encoded_len stays exact
+                // (written in place — no per-call allocation).
+                head.extend(std::iter::repeat_n(0u8, *len as usize));
             }
         }
+    }
+}
+
+impl WireEncode for ChunkPayload {
+    /// Flat path: delegates to [`WireEncodeSegmented::encode_segments`] so
+    /// there is exactly one encoding routine to keep correct.
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let mut seg = SegmentBuf::new();
+        self.encode_segments(&mut seg);
+        seg.copy_into(buf);
     }
     fn encoded_len(&self) -> usize {
         1 + 4 + self.chunk_len()
@@ -120,9 +140,9 @@ impl VidMsg {
     }
 }
 
-impl WireEncode for VidMsg {
-    fn encode(&self, buf: &mut Vec<u8>) {
-        buf.push(self.tag());
+impl WireEncodeSegmented for VidMsg {
+    fn encode_segments(&self, out: &mut SegmentBuf) {
+        out.head_mut().push(self.tag());
         match self {
             VidMsg::Chunk {
                 root,
@@ -134,13 +154,23 @@ impl WireEncode for VidMsg {
                 proof,
                 payload,
             } => {
-                root.encode(buf);
-                proof.encode(buf);
-                payload.encode(buf);
+                let head = out.head_mut();
+                root.encode(head);
+                proof.encode(head);
+                payload.encode_segments(out);
             }
-            VidMsg::GotChunk { root } | VidMsg::Ready { root } => root.encode(buf),
+            VidMsg::GotChunk { root } | VidMsg::Ready { root } => root.encode(out.head_mut()),
             VidMsg::RequestChunk | VidMsg::Cancel => {}
         }
+    }
+}
+
+impl WireEncode for VidMsg {
+    /// Flat path: delegates to [`WireEncodeSegmented::encode_segments`].
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let mut seg = SegmentBuf::new();
+        self.encode_segments(&mut seg);
+        seg.copy_into(buf);
     }
     fn encoded_len(&self) -> usize {
         1 + match self {
@@ -260,18 +290,28 @@ pub enum ProtoMsg {
     Ba(BaMsg),
 }
 
-impl WireEncode for ProtoMsg {
-    fn encode(&self, buf: &mut Vec<u8>) {
+impl WireEncodeSegmented for ProtoMsg {
+    fn encode_segments(&self, out: &mut SegmentBuf) {
         match self {
             ProtoMsg::Vid(m) => {
-                buf.push(0);
-                m.encode(buf);
+                out.head_mut().push(0);
+                m.encode_segments(out);
             }
             ProtoMsg::Ba(m) => {
-                buf.push(1);
-                m.encode(buf);
+                let head = out.head_mut();
+                head.push(1);
+                m.encode(head);
             }
         }
+    }
+}
+
+impl WireEncode for ProtoMsg {
+    /// Flat path: delegates to [`WireEncodeSegmented::encode_segments`].
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let mut seg = SegmentBuf::new();
+        self.encode_segments(&mut seg);
+        seg.copy_into(buf);
     }
     fn encoded_len(&self) -> usize {
         1 + match self {
@@ -336,11 +376,21 @@ impl Envelope {
     }
 }
 
+impl WireEncodeSegmented for Envelope {
+    fn encode_segments(&self, out: &mut SegmentBuf) {
+        let head = out.head_mut();
+        self.epoch.0.encode(head);
+        self.index.0.encode(head);
+        self.payload.encode_segments(out);
+    }
+}
+
 impl WireEncode for Envelope {
+    /// Flat path: delegates to [`WireEncodeSegmented::encode_segments`].
     fn encode(&self, buf: &mut Vec<u8>) {
-        self.epoch.0.encode(buf);
-        self.index.0.encode(buf);
-        self.payload.encode(buf);
+        let mut seg = SegmentBuf::new();
+        self.encode_segments(&mut seg);
+        seg.copy_into(buf);
     }
     fn encoded_len(&self) -> usize {
         8 + 2 + self.payload.encoded_len()
