@@ -39,6 +39,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
+use dl_pool::{Pool, SharedMut};
 
 use crate::gf256::{self, MulTab};
 use crate::matrix::Matrix;
@@ -47,6 +48,26 @@ use crate::matrix::Matrix;
 /// loops. All `k` source stripes (`k · 4096 ≤ 1 MiB` even at `k = 256`)
 /// stay cache-resident while every output row consumes them.
 const STRIPE: usize = 4096;
+
+/// Minimum output bytes (`rows · shard_len`) before the striped loops fan
+/// out across a worker pool: below this, dispatch overhead beats the win.
+const PAR_MIN_BYTES: usize = 128 * 1024;
+
+/// Split `shard_len` into at most `threads · 4` stripe-aligned column
+/// ranges (the parallel job decomposition; deterministic, output-disjoint).
+fn column_ranges(shard_len: usize, threads: usize) -> Vec<(usize, usize)> {
+    let stripes = shard_len.div_ceil(STRIPE);
+    let jobs = stripes.min(threads.saturating_mul(4)).max(1);
+    let stripes_per_job = stripes.div_ceil(jobs);
+    let mut ranges = Vec::with_capacity(jobs);
+    let mut pos = 0;
+    while pos < shard_len {
+        let end = (pos + stripes_per_job * STRIPE).min(shard_len);
+        ranges.push((pos, end));
+        pos = end;
+    }
+    ranges
+}
 
 /// Decoding plans cached per chunk-index subset; cleared wholesale if an
 /// adversarial access pattern somehow produces more distinct subsets.
@@ -215,7 +236,21 @@ impl ReedSolomon {
 
     /// Encode a block into an arena-backed codeword — the dispersal fast
     /// path. One allocation for all `n` chunks; see [`CodedBlock`].
+    /// Serial; [`ReedSolomon::encode_block_shared_pooled`] is the
+    /// multi-core form (byte-identical output).
     pub fn encode_block_shared(&self, block: &[u8]) -> CodedBlock {
+        self.encode_block_shared_pooled(block, &Pool::serial())
+    }
+
+    /// Encode with the parity stripes fanned out across `pool`.
+    ///
+    /// The column range `0..shard_len` is split into stripe-aligned jobs;
+    /// each job runs the PR 3 cache-blocked loop over its own range,
+    /// writing **disjoint** slices of the parity region — no locks on the
+    /// hot path, and the output is byte-identical to the serial encode
+    /// (GF(2^8) arithmetic has no order sensitivity and the decomposition
+    /// only partitions the index space).
+    pub fn encode_block_shared_pooled(&self, block: &[u8], pool: &Pool) -> CodedBlock {
         let shard_len = self.chunk_len(block.len());
         let mut arena = vec![0u8; self.n * shard_len];
         // Frame: length header, payload, zero padding — written straight
@@ -225,24 +260,55 @@ impl ReedSolomon {
 
         let (data, parity) = arena.split_at_mut(self.k * shard_len);
         let parity_rows = self.n - self.k;
-        // Striped parity generation: while one data stripe is cache-hot,
-        // update the matching stripe of every parity row.
-        let mut pos = 0;
-        while pos < shard_len {
-            let end = (pos + STRIPE).min(shard_len);
-            for r in 0..parity_rows {
-                let dst = &mut parity[r * shard_len + pos..r * shard_len + end];
-                for c in 0..self.k {
-                    let src = &data[c * shard_len + pos..c * shard_len + end];
-                    let tab = &self.parity_tabs[r * self.k + c];
-                    if c == 0 {
-                        gf256::mul_slice_tab(dst, src, tab);
-                    } else {
-                        gf256::mul_acc_slice_tab(dst, src, tab);
+        let data: &[u8] = data;
+
+        if pool.is_serial() || parity_rows * shard_len < PAR_MIN_BYTES {
+            // Serial fast path: the exact PR 3 loop over direct borrows
+            // (kept verbatim — the pooled form below is byte-identical
+            // but the single-thread path must not pay for it).
+            let mut pos = 0;
+            while pos < shard_len {
+                let end = (pos + STRIPE).min(shard_len);
+                for r in 0..parity_rows {
+                    let dst = &mut parity[r * shard_len + pos..r * shard_len + end];
+                    for c in 0..self.k {
+                        let src = &data[c * shard_len + pos..c * shard_len + end];
+                        let tab = &self.parity_tabs[r * self.k + c];
+                        if c == 0 {
+                            gf256::mul_slice_tab(dst, src, tab);
+                        } else {
+                            gf256::mul_acc_slice_tab(dst, src, tab);
+                        }
                     }
                 }
+                pos = end;
             }
-            pos = end;
+        } else {
+            let ranges = column_ranges(shard_len, pool.threads());
+            let window = SharedMut::new(parity);
+            pool.run(ranges.len(), |j| {
+                let (from, to) = ranges[j];
+                let mut pos = from;
+                while pos < to {
+                    let end = (pos + STRIPE).min(to);
+                    for r in 0..parity_rows {
+                        // SAFETY: jobs cover disjoint column ranges, so the
+                        // per-row windows never overlap across jobs.
+                        let dst =
+                            unsafe { window.slice_mut(r * shard_len + pos..r * shard_len + end) };
+                        for c in 0..self.k {
+                            let src = &data[c * shard_len + pos..c * shard_len + end];
+                            let tab = &self.parity_tabs[r * self.k + c];
+                            if c == 0 {
+                                gf256::mul_slice_tab(dst, src, tab);
+                            } else {
+                                gf256::mul_acc_slice_tab(dst, src, tab);
+                            }
+                        }
+                    }
+                    pos = end;
+                }
+            });
         }
         CodedBlock {
             arena: Bytes::from(arena),
@@ -312,7 +378,11 @@ impl ReedSolomon {
 
     /// Decode the contiguous `k · shard_len` frame (header + payload +
     /// padding) from any `k` distinct chunks, in one arena buffer.
-    fn reconstruct_frame(&self, chunks: &[(usize, &[u8])]) -> Result<Vec<u8>, RsError> {
+    fn reconstruct_frame(
+        &self,
+        chunks: &[(usize, &[u8])],
+        pool: &Pool,
+    ) -> Result<Vec<u8>, RsError> {
         if chunks.len() < self.k {
             return Err(RsError::NotEnoughChunks {
                 have: chunks.len(),
@@ -343,22 +413,53 @@ impl ReedSolomon {
         let plan = self.decode_plan(&indices);
         // Same stripe order as encode: every data row consumes the chunk
         // stripes while they are cache-hot. Rows whose chunk is already
-        // present degrade to a copy via the identity-row MulTab fast paths.
-        let mut pos = 0;
-        while pos < shard_len {
-            let end = (pos + STRIPE).min(shard_len);
-            for r in 0..self.k {
-                let dst = &mut frame[r * shard_len + pos..r * shard_len + end];
-                for (c, &(_, bytes)) in use_chunks.iter().enumerate() {
-                    let tab = &plan[r * self.k + c];
-                    if c == 0 {
-                        gf256::mul_slice_tab(dst, &bytes[pos..end], tab);
-                    } else {
-                        gf256::mul_acc_slice_tab(dst, &bytes[pos..end], tab);
+        // present degrade to a copy via the identity-row MulTab fast
+        // paths. The serial loop is kept on direct borrows (measurably
+        // better codegen than the raw-pointer windows — see encode); the
+        // pooled form fans stripe-aligned column ranges into disjoint
+        // frame windows per job, byte-identical output.
+        if pool.is_serial() || self.k * shard_len < PAR_MIN_BYTES {
+            let mut pos = 0;
+            while pos < shard_len {
+                let end = (pos + STRIPE).min(shard_len);
+                for r in 0..self.k {
+                    let dst = &mut frame[r * shard_len + pos..r * shard_len + end];
+                    for (c, &(_, bytes)) in use_chunks.iter().enumerate() {
+                        let tab = &plan[r * self.k + c];
+                        if c == 0 {
+                            gf256::mul_slice_tab(dst, &bytes[pos..end], tab);
+                        } else {
+                            gf256::mul_acc_slice_tab(dst, &bytes[pos..end], tab);
+                        }
                     }
                 }
+                pos = end;
             }
-            pos = end;
+        } else {
+            let ranges = column_ranges(shard_len, pool.threads());
+            let window = SharedMut::new(&mut frame[..]);
+            pool.run(ranges.len(), |j| {
+                let (from, to) = ranges[j];
+                let mut pos = from;
+                while pos < to {
+                    let end = (pos + STRIPE).min(to);
+                    for r in 0..self.k {
+                        // SAFETY: jobs cover disjoint column ranges, so the
+                        // per-row windows never overlap across jobs.
+                        let dst =
+                            unsafe { window.slice_mut(r * shard_len + pos..r * shard_len + end) };
+                        for (c, &(_, bytes)) in use_chunks.iter().enumerate() {
+                            let tab = &plan[r * self.k + c];
+                            if c == 0 {
+                                gf256::mul_slice_tab(dst, &bytes[pos..end], tab);
+                            } else {
+                                gf256::mul_acc_slice_tab(dst, &bytes[pos..end], tab);
+                            }
+                        }
+                    }
+                    pos = end;
+                }
+            });
         }
         Ok(frame)
     }
@@ -370,7 +471,7 @@ impl ReedSolomon {
     /// (owned per-shard vectors); the retrieval path uses
     /// [`ReedSolomon::reconstruct_block_shared`].
     pub fn reconstruct_data(&self, chunks: &[(usize, &[u8])]) -> Result<Vec<Vec<u8>>, RsError> {
-        let frame = self.reconstruct_frame(chunks)?;
+        let frame = self.reconstruct_frame(chunks, &Pool::serial())?;
         let shard_len = frame.len() / self.k;
         if shard_len == 0 {
             // Zero-length chunks (only a hostile peer sends these; honest
@@ -383,8 +484,19 @@ impl ReedSolomon {
     /// Reconstruct the original block (undoing the length framing) as a
     /// zero-copy window into the decoded frame: the decode writes one
     /// contiguous buffer and the payload is returned without re-copying.
+    /// Serial; see [`ReedSolomon::reconstruct_block_shared_pooled`].
     pub fn reconstruct_block_shared(&self, chunks: &[(usize, &[u8])]) -> Result<Bytes, RsError> {
-        let frame = self.reconstruct_frame(chunks)?;
+        self.reconstruct_block_shared_pooled(chunks, &Pool::serial())
+    }
+
+    /// [`ReedSolomon::reconstruct_block_shared`] with the decode stripes
+    /// fanned out across `pool` (byte-identical output).
+    pub fn reconstruct_block_shared_pooled(
+        &self,
+        chunks: &[(usize, &[u8])],
+        pool: &Pool,
+    ) -> Result<Bytes, RsError> {
+        let frame = self.reconstruct_frame(chunks, pool)?;
         let shard_len = frame.len() / self.k;
         if frame.len() < 4 {
             return Err(RsError::BadFrame);
@@ -580,6 +692,61 @@ mod tests {
         let expect = scalar_ref::decode_data(&rs.enc, 4, &subset);
         assert_eq!(rs.reconstruct_data(&subset).unwrap(), expect);
         assert_eq!(rs.reconstruct_block(&subset).unwrap(), block);
+    }
+
+    #[test]
+    fn pooled_encode_is_byte_identical_for_every_bench_cluster_size() {
+        // The tentpole determinism property: for every N the bench
+        // measures, pooled encode output equals serial encode output
+        // byte-for-byte, at sizes spanning the parallel threshold and
+        // non-stripe-aligned shard lengths.
+        let pool = Pool::new(4);
+        for n in [4usize, 16, 64, 128] {
+            let f = (n - 1) / 3;
+            let rs = ReedSolomon::for_cluster(n, f).unwrap();
+            for len in [0usize, 1000, 100_000, 1_048_576 + 37] {
+                let block = sample_block(len);
+                let serial = rs.encode_block_shared(&block);
+                let pooled = rs.encode_block_shared_pooled(&block, &pool);
+                assert_eq!(
+                    serial.arena.as_ref(),
+                    pooled.arena.as_ref(),
+                    "n={n} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_decode_is_byte_identical_for_every_bench_cluster_size() {
+        let pool = Pool::new(3);
+        for n in [4usize, 16, 64, 128] {
+            let f = (n - 1) / 3;
+            let rs = ReedSolomon::for_cluster(n, f).unwrap();
+            let k = rs.data_chunks();
+            let block = sample_block(300_000);
+            let chunks = rs.encode_block(&block);
+            // Parity-heavy subset (the worst case) in scrambled order.
+            let subset: Vec<(usize, &[u8])> = (n - k..n)
+                .rev()
+                .map(|i| (i, chunks[i].as_slice()))
+                .collect();
+            let serial = rs.reconstruct_block_shared(&subset).unwrap();
+            let pooled = rs.reconstruct_block_shared_pooled(&subset, &pool).unwrap();
+            assert_eq!(serial.as_ref(), pooled.as_ref(), "n={n}");
+            assert_eq!(serial.as_ref(), &block[..], "n={n} roundtrip");
+        }
+    }
+
+    #[test]
+    fn pooled_encode_from_global_pool_matches_serial() {
+        // Whatever DL_POOL_THREADS says, the global pool must not change
+        // a single byte of the codeword.
+        let rs = ReedSolomon::new(5, 16).unwrap();
+        let block = sample_block(700_000);
+        let serial = rs.encode_block_shared(&block);
+        let pooled = rs.encode_block_shared_pooled(&block, Pool::global());
+        assert_eq!(serial.arena.as_ref(), pooled.arena.as_ref());
     }
 
     #[test]

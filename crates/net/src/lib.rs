@@ -38,12 +38,18 @@
 //! classic producer/consumer backpressure. This cannot deadlock: inbound
 //! frames are queued without bounds toward the engine, so a peer's reader
 //! always makes progress even while our engine waits for its writer. A
-//! peer that is *dead* rather than slow — connect deadline passed, the
-//! connection dropped, or a socket that accepted no bytes for a whole
-//! `write_timeout` (frozen process, silent partition) — must never
-//! backpressure: its writer exits (no reconnect yet, see ROADMAP), the
-//! outbox is marked dead and drops traffic, which is exactly the
-//! `f`-crash loss the protocol tolerates.
+//! peer that is *down* rather than slow — dial attempts failing past the
+//! `connect_timeout` grace, the connection dropped, or a socket that
+//! accepted no bytes for a whole `write_timeout` (frozen process, silent
+//! partition) — must never backpressure: its outbox turns **lossy**
+//! (drops traffic instead of queueing), which is exactly the `f`-crash
+//! loss the protocol tolerates. The writer keeps dialing with capped
+//! exponential backoff (`reconnect_backoff_max`); a reconnected peer is
+//! first on **probation** (queueing resumes but producers are never
+//! blocked) and only re-earns backpressure after a full `write_timeout`
+//! of successful drains — so a frozen process whose kernel still accepts
+//! dials can never stall the engine more than once. A genuinely revived
+//! peer resumes receiving traffic with no node restart.
 //!
 //! ## Trust model
 //!
@@ -77,12 +83,19 @@ pub struct NetConfig {
     pub peers: Vec<SocketAddr>,
     /// Per-peer outbox bound in wire bytes; `send` blocks above it.
     pub max_outbox_bytes: usize,
-    /// How long writers keep retrying the initial connect.
+    /// Grace period per disconnect during which outbound traffic keeps
+    /// queueing (bounded) while the writer dials. A peer still down when
+    /// it expires has its outbox switched to lossy (drop, don't block)
+    /// until the writer reconnects.
     pub connect_timeout: Duration,
     /// Per-syscall socket write timeout. A connected peer that accepts no
-    /// bytes for this long (frozen, silently partitioned) is declared
-    /// dead so its outbox can never stall the engine.
+    /// bytes for this long (frozen, silently partitioned) has its
+    /// connection torn down so its outbox can never stall the engine; the
+    /// writer then dials anew.
     pub write_timeout: Duration,
+    /// Cap for the writer's exponential reconnect backoff (dial attempts
+    /// start at 50 ms apart and double up to this).
+    pub reconnect_backoff_max: Duration,
     /// Engine poll cadence in ms (wake hints can only shorten the wait).
     pub tick_ms: u64,
 }
@@ -95,6 +108,7 @@ impl NetConfig {
             max_outbox_bytes: 8 << 20,
             connect_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(30),
+            reconnect_backoff_max: Duration::from_secs(2),
             tick_ms: 25,
         }
     }
@@ -111,12 +125,24 @@ struct Outbox {
     queue: Mutex<SendQueue>,
     cv: Condvar,
     max_bytes: usize,
-    /// Set when the peer's writer thread exits for good (connect deadline
-    /// passed, or the connection died). A dead peer's outbox drops instead
-    /// of blocking: backpressure from a peer that will never drain again
-    /// must not stall the engine — that is exactly the `f`-crash scenario
-    /// the protocol tolerates.
+    /// Set when the peer's writer thread exits for good (node shutdown).
+    /// A dead peer's outbox drops instead of blocking: backpressure from
+    /// a peer that will never drain again must not stall the engine —
+    /// that is exactly the `f`-crash scenario the protocol tolerates.
     dead: AtomicBool,
+    /// Set while the peer has been unreachable longer than the connect
+    /// grace: traffic is dropped (not queued, not backpressured) until
+    /// the writer reconnects. Unlike `dead`, this state is reversible —
+    /// reconnect-after-drop clears it and queueing resumes.
+    lossy: AtomicBool,
+    /// Set from the first disconnect until the replacement connection has
+    /// **proven** it drains (a full `write_timeout` of successful
+    /// writes): while set, `push` still queues up to the bound but never
+    /// blocks (drops at the bound instead). This preserves the PR 4
+    /// invariant that an unhealthy peer cannot stall the engine — a
+    /// frozen process whose kernel still accepts connections would
+    /// otherwise re-earn backpressure with every successful dial.
+    no_block: AtomicBool,
 }
 
 impl Outbox {
@@ -126,6 +152,17 @@ impl Outbox {
             cv: Condvar::new(),
             max_bytes,
             dead: AtomicBool::new(false),
+            lossy: AtomicBool::new(false),
+            no_block: AtomicBool::new(false),
+        }
+    }
+
+    /// Enter/leave probation: queueing continues (bounded) but producers
+    /// are never blocked until the writer proves the peer drains again.
+    fn set_no_block(&self, no_block: bool) {
+        self.no_block.store(no_block, Ordering::Relaxed);
+        if no_block {
+            self.cv.notify_all();
         }
     }
 
@@ -138,13 +175,31 @@ impl Outbox {
         self.cv.notify_all();
     }
 
+    /// Enter/leave the lossy (peer-down) state. Entering discards queued
+    /// traffic and releases any backpressured producer; leaving resumes
+    /// normal bounded queueing.
+    fn set_lossy(&self, lossy: bool) {
+        self.lossy.store(lossy, Ordering::Relaxed);
+        if lossy {
+            let mut q = self.queue.lock().expect("outbox lock");
+            while q.pop().is_some() {}
+            self.cv.notify_all();
+        }
+    }
+
     /// Queue `env`, blocking while the outbox is over its byte bound
-    /// (backpressure against a slow peer). Drops the envelope if the node
-    /// is stopping or the peer is dead.
+    /// (backpressure against a slow peer). Drops the envelope without
+    /// blocking if the node is stopping, the peer is dead or down
+    /// (lossy), or the peer is on reconnect probation (`no_block`) — only
+    /// a connection that provably drains may stall the engine.
     fn push(&self, env: Envelope, stop: &AtomicBool) {
         let mut q = self.queue.lock().expect("outbox lock");
         while q.queued_bytes() >= self.max_bytes {
-            if stop.load(Ordering::Relaxed) || self.dead.load(Ordering::Relaxed) {
+            if stop.load(Ordering::Relaxed)
+                || self.dead.load(Ordering::Relaxed)
+                || self.lossy.load(Ordering::Relaxed)
+                || self.no_block.load(Ordering::Relaxed)
+            {
                 return;
             }
             let (guard, _) = self
@@ -153,7 +208,7 @@ impl Outbox {
                 .expect("outbox lock");
             q = guard;
         }
-        if self.dead.load(Ordering::Relaxed) {
+        if self.dead.load(Ordering::Relaxed) || self.lossy.load(Ordering::Relaxed) {
             return;
         }
         q.push(env);
@@ -355,8 +410,17 @@ impl NetNode {
             let me = cfg.me;
             let connect_timeout = cfg.connect_timeout;
             let write_timeout = cfg.write_timeout;
+            let backoff_max = cfg.reconnect_backoff_max;
             threads.push(std::thread::spawn(move || {
-                writer_loop(addr, me, outbox, shared, connect_timeout, write_timeout);
+                writer_loop(
+                    addr,
+                    me,
+                    outbox,
+                    shared,
+                    connect_timeout,
+                    write_timeout,
+                    backoff_max,
+                );
             }));
         }
 
@@ -417,6 +481,13 @@ impl NetNode {
     /// [`Engine::stats`].
     pub fn stats(&self) -> Option<NodeStats> {
         *self.shared.stats.lock().expect("stats lock")
+    }
+
+    /// Number of live TCP connections (inbound readers + outbound
+    /// writers) currently registered. Diagnostics — the reconnect tests
+    /// use it to observe peers re-establishing links to a revived node.
+    pub fn connection_count(&self) -> usize {
+        self.shared.conns.lock().expect("conns lock").len()
     }
 
     /// Snapshot of everything delivered so far, in delivery order.
@@ -586,8 +657,35 @@ fn reader_loop(mut stream: TcpStream, n: usize, input: Sender<Input>) -> io::Res
     }
 }
 
+/// Sleep `dur` in small slices, returning early (false) if `stop` flips.
+fn sleep_unless_stopped(dur: Duration, stop: &AtomicBool) -> bool {
+    let deadline = Instant::now() + dur;
+    while Instant::now() < deadline {
+        if stop.load(Ordering::Relaxed) {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(25).min(deadline - Instant::now()));
+    }
+    !stop.load(Ordering::Relaxed)
+}
+
 /// Connect to `addr` (retrying while the peer boots), send our hello, then
 /// drain the outbox in §5 priority order with vectored, zero-copy writes.
+///
+/// A dropped connection does **not** retire the peer: the writer dials
+/// again with capped exponential backoff, forever, until node shutdown.
+/// Engine protection is two-tier. While the peer stays down past
+/// `connect_timeout` the outbox is **lossy** (drop everything). From the
+/// first disconnect until a replacement connection has drained
+/// successfully for a whole `write_timeout`, the outbox is on
+/// **probation** (`no_block`): traffic queues up to the bound but
+/// producers are never blocked — so a frozen process whose kernel still
+/// accepts dials (or an accept-then-reset peer) cannot re-earn
+/// backpressure and stall the engine, preserving the PR 4 invariant.
+/// The dial backoff likewise only resets after a successful write, not a
+/// successful connect, so accept-then-fail peers see growing intervals.
+/// A genuinely revived peer drains the queue, passes probation, and
+/// resumes normal bounded backpressure with no node restart.
 fn writer_loop(
     addr: SocketAddr,
     me: NodeId,
@@ -595,40 +693,79 @@ fn writer_loop(
     shared: Arc<Shared>,
     connect_timeout: Duration,
     write_timeout: Duration,
+    backoff_max: Duration,
 ) {
-    let deadline = Instant::now() + connect_timeout;
-    let mut stream = loop {
-        if shared.stop.load(Ordering::Relaxed) || Instant::now() >= deadline {
-            // Unreachable within the deadline: a crashed peer. Stop
-            // accumulating (and never block on) traffic for it.
+    let mut backoff = Duration::from_millis(50);
+    loop {
+        // Dial phase. Traffic queues (bounded) during the grace period,
+        // then the outbox goes lossy until the peer answers.
+        let grace_deadline = Instant::now() + connect_timeout;
+        let stream = loop {
+            if shared.stop.load(Ordering::Relaxed) {
+                outbox.mark_dead();
+                return;
+            }
+            match TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+                Ok(s) => break s,
+                Err(_) => {
+                    if Instant::now() >= grace_deadline {
+                        outbox.set_lossy(true);
+                    }
+                    if !sleep_unless_stopped(backoff, &shared.stop) {
+                        outbox.mark_dead();
+                        return;
+                    }
+                    backoff = (backoff * 2).min(backoff_max);
+                }
+            }
+        };
+        outbox.set_lossy(false);
+        let mut stream = stream;
+        let _ = stream.set_nodelay(true);
+        // A peer that accepts no bytes for a whole write_timeout is
+        // frozen or silently partitioned: the erroring write tears the
+        // connection down and the dial phase takes over again.
+        let _ = stream.set_write_timeout(Some(write_timeout));
+        let conn_id = shared.register_conn(&stream);
+        let mut run = || -> io::Result<()> {
+            stream.write_all(&me.0.to_le_bytes())?;
+            // Probation lifts only on *sustained* drains: a write_timeout
+            // must separate the first and a later successful write on
+            // this connection. Anchoring on the first write (not the
+            // connect) means a long-idle connection cannot re-earn
+            // backpressure off a single buffered write.
+            let mut first_write_ok: Option<Instant> = None;
+            while let Some(env) = outbox.pop_blocking(&shared.stop) {
+                let frame = encode_frame(&env);
+                write_segments(&mut stream, &frame)?;
+                // The peer demonstrably drains: reset the dial backoff.
+                backoff = Duration::from_millis(50);
+                let now = Instant::now();
+                let anchor = *first_write_ok.get_or_insert(now);
+                if now.duration_since(anchor) >= write_timeout {
+                    outbox.set_no_block(false);
+                }
+            }
+            Ok(())
+        };
+        let _ = run();
+        shared.forget_conn(conn_id);
+        if shared.stop.load(Ordering::Relaxed) {
+            // Clean stop: the outbox must never again block a producer.
             outbox.mark_dead();
             return;
         }
-        match TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
-            Ok(s) => break s,
-            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        // Connection died (the envelope being written, if any, is lost —
+        // within the protocol's loss tolerance; queued envelopes survive
+        // and go out on the next connection). Probation until the
+        // replacement proves itself; then dial again with backoff.
+        outbox.set_no_block(true);
+        if !sleep_unless_stopped(backoff, &shared.stop) {
+            outbox.mark_dead();
+            return;
         }
-    };
-    let _ = stream.set_nodelay(true);
-    // A peer that accepts no bytes for a whole write_timeout is frozen or
-    // silently partitioned: the erroring write ends this loop and marks
-    // the outbox dead, so the engine is never stalled behind it.
-    let _ = stream.set_write_timeout(Some(write_timeout));
-    let conn_id = shared.register_conn(&stream);
-    let mut run = || -> io::Result<()> {
-        stream.write_all(&me.0.to_le_bytes())?;
-        while let Some(env) = outbox.pop_blocking(&shared.stop) {
-            let frame = encode_frame(&env);
-            write_segments(&mut stream, &frame)?;
-        }
-        Ok(())
-    };
-    // On any exit — clean stop or a dead connection — the outbox must
-    // never again backpressure the engine, and the shutdown registry must
-    // not keep the fd alive.
-    let _ = run();
-    outbox.mark_dead();
-    shared.forget_conn(conn_id);
+        backoff = (backoff * 2).min(backoff_max);
+    }
 }
 
 /// An in-process localhost cluster: `n` full [`NetNode`]s wired over real
@@ -821,6 +958,150 @@ mod tests {
         // Further pushes drop silently instead of accumulating.
         outbox.push(env, &stop);
         assert!(outbox.queue.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn writer_reconnects_after_peer_drop_with_backoff() {
+        // The satellite guarantee, tested at the writer-loop level with a
+        // controlled listener: kill the accepted connection mid-run, and
+        // the writer must dial again (new hello) and deliver envelopes
+        // pushed while the peer was down (within the connect grace).
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let outbox = Arc::new(Outbox::new(1 << 20));
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            delivered: Mutex::new(Vec::new()),
+            stats: Mutex::new(None),
+            conns: Mutex::new(Vec::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+        let writer = {
+            let outbox = Arc::clone(&outbox);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                writer_loop(
+                    addr,
+                    NodeId(5),
+                    outbox,
+                    shared,
+                    Duration::from_secs(10),
+                    Duration::from_secs(10),
+                    Duration::from_millis(200),
+                )
+            })
+        };
+
+        let read_hello_and_frame = |stream: &mut TcpStream, expect: &Envelope| {
+            let mut hello = [0u8; 2];
+            stream.read_exact(&mut hello).expect("hello");
+            assert_eq!(u16::from_le_bytes(hello), 5, "hello must carry our id");
+            let mut decoder = FrameDecoder::new();
+            let mut buf = [0u8; 4096];
+            loop {
+                let k = stream.read(&mut buf).expect("read frame");
+                assert!(k > 0, "peer closed before a frame arrived");
+                decoder.extend(&buf[..k]);
+                if let Some(env) = decoder.next_frame().expect("valid frame") {
+                    assert_eq!(&env, expect);
+                    return;
+                }
+            }
+        };
+
+        let env1 = Envelope::vid(dl_wire::Epoch(1), NodeId(0), dl_wire::VidMsg::RequestChunk);
+        let env2 = Envelope::vid(dl_wire::Epoch(2), NodeId(0), dl_wire::VidMsg::RequestChunk);
+
+        // First connection: receive hello + env1, then kill it.
+        outbox.push(env1.clone(), &shared.stop);
+        let (mut s1, _) = listener.accept().expect("first accept");
+        read_hello_and_frame(&mut s1, &env1);
+        drop(s1);
+
+        // The writer only notices the dead socket on a *write* (the first
+        // post-FIN write can even succeed into the kernel buffer), so keep
+        // nudging traffic until the dial lands — what a live cluster's
+        // constant protocol chatter does naturally.
+        let pusher_stop = Arc::new(AtomicBool::new(false));
+        let pusher = {
+            let outbox = Arc::clone(&outbox);
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&pusher_stop);
+            let env2 = env2.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    outbox.push(env2.clone(), &shared.stop);
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            })
+        };
+
+        // The writer must reconnect on its own and resume the stream
+        // (every queued frame is an env2 duplicate at this point).
+        let (mut s2, _) = listener.accept().expect("no reconnect after drop");
+        read_hello_and_frame(&mut s2, &env2);
+        pusher_stop.store(true, Ordering::Relaxed);
+        pusher.join().expect("pusher thread");
+
+        shared.stop.store(true, Ordering::Relaxed);
+        drop(s2);
+        writer.join().expect("writer thread");
+    }
+
+    #[test]
+    fn outbox_goes_lossy_while_down_and_recovers_on_reconnect() {
+        // set_lossy(true) must release a blocked producer, drop the
+        // queue, and refuse new traffic; set_lossy(false) restores
+        // bounded queueing.
+        let outbox = Arc::new(Outbox::new(32));
+        let stop = Arc::new(AtomicBool::new(false));
+        let env = Envelope::vid(dl_wire::Epoch(1), NodeId(0), dl_wire::VidMsg::RequestChunk);
+        while outbox.queue.lock().unwrap().queued_bytes() < 32 {
+            outbox.push(env.clone(), &stop);
+        }
+        let full = Arc::clone(&outbox);
+        let stop2 = Arc::clone(&stop);
+        let env2 = env.clone();
+        let blocked = std::thread::spawn(move || full.push(env2, &stop2));
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(!blocked.is_finished(), "producer did not backpressure");
+        outbox.set_lossy(true);
+        blocked.join().unwrap();
+        assert!(outbox.queue.lock().unwrap().is_empty());
+        outbox.push(env.clone(), &stop);
+        assert!(outbox.queue.lock().unwrap().is_empty(), "lossy must drop");
+        // Reconnected: queueing resumes.
+        outbox.set_lossy(false);
+        outbox.push(env, &stop);
+        assert_eq!(outbox.queue.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn probation_queues_but_never_blocks_a_producer() {
+        // Between a disconnect and a proven reconnect the outbox must
+        // keep queueing (bounded) without ever stalling the engine.
+        let outbox = Arc::new(Outbox::new(64));
+        let stop = Arc::new(AtomicBool::new(false));
+        let env = Envelope::vid(dl_wire::Epoch(1), NodeId(0), dl_wire::VidMsg::RequestChunk);
+        outbox.set_no_block(true);
+        let t0 = Instant::now();
+        for _ in 0..64 {
+            outbox.push(env.clone(), &stop); // far past the 64-byte bound
+        }
+        assert!(
+            t0.elapsed() < Duration::from_millis(90),
+            "probation push blocked: {:?}",
+            t0.elapsed()
+        );
+        // Queued up to the bound, overflow dropped — not unbounded.
+        let bytes = outbox.queue.lock().unwrap().queued_bytes();
+        assert!(bytes >= 64, "probation must still queue traffic");
+        assert!(
+            bytes < 64 + 2 * env.wire_size(),
+            "probation overflow must drop, got {bytes} bytes"
+        );
     }
 
     #[test]

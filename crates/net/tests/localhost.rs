@@ -121,6 +121,121 @@ fn seven_node_tcp_cluster_smoke() {
 }
 
 #[test]
+fn cluster_reconnects_to_a_killed_and_revived_peer() {
+    // The reconnect-after-drop satellite, end to end: kill a cluster
+    // member mid-run, keep the surviving trio delivering (f = 1), then
+    // revive the member on the same address — the survivors' writers
+    // must re-dial it on their own (no node restart), observable as
+    // inbound connections at the revived node, while the trio keeps
+    // making progress.
+    use dl_core::NodeConfig;
+    use dl_net::{NetConfig, NetNode};
+    use dl_wire::ClusterConfig;
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    let n = 4usize;
+    let cluster_cfg = ClusterConfig::new(n);
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind(("127.0.0.1", 0)).expect("bind"))
+        .collect();
+    let peers: Vec<std::net::SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr"))
+        .collect();
+    let net_cfg = |i: usize| {
+        let mut cfg = NetConfig::new(NodeId(i as u16), peers.clone());
+        cfg.connect_timeout = Duration::from_secs(1);
+        cfg.reconnect_backoff_max = Duration::from_millis(250);
+        cfg
+    };
+    let mut nodes: Vec<NetNode> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, listener)| {
+            let node_cfg = NodeConfig::new(cluster_cfg.clone(), ProtocolVariant::Dl);
+            NetNode::spawn_honest(node_cfg, listener, net_cfg(i)).expect("spawn")
+        })
+        .collect();
+
+    let wait_trio = |nodes: &[NetNode], expected: u64| {
+        let deadline = Instant::now() + TIMEOUT;
+        while nodes[..3]
+            .iter()
+            .any(|nd| nd.stats().is_none_or(|s| s.txs_delivered < expected))
+        {
+            assert!(
+                Instant::now() < deadline,
+                "trio stalled at {:?} of {expected}",
+                nodes[..3]
+                    .iter()
+                    .map(|nd| nd.stats().map_or(0, |s| s.txs_delivered))
+                    .collect::<Vec<_>>()
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    };
+
+    // Wave 1: all four alive.
+    for s in 0..3u64 {
+        nodes[s as usize].submit_tx(Tx::synthetic(NodeId(s as u16), s, 0, 250));
+    }
+    wait_trio(&nodes, 3);
+
+    // Kill node 3. Its address stays reserved in every peer list.
+    let dead = nodes.pop().expect("node 3");
+    dead.shutdown();
+
+    // Wave 2 with the peer down: survivors deliver (f = 1 absorbs the
+    // loss), and their writes to node 3 fail, putting its writers into
+    // the re-dial loop.
+    for s in 10..13u64 {
+        nodes[(s % 3) as usize].submit_tx(Tx::synthetic(NodeId((s % 3) as u16), s, 0, 250));
+    }
+    wait_trio(&nodes, 6);
+
+    // Revive node 3 on the same address with a fresh engine.
+    let listener = TcpListener::bind(peers[3]).expect("rebind node 3's address");
+    let node_cfg = NodeConfig::new(cluster_cfg.clone(), ProtocolVariant::Dl);
+    let revived = NetNode::spawn_honest(node_cfg, listener, net_cfg(3)).expect("respawn");
+
+    // Wave 3 keeps traffic flowing so the survivors' backed-off writers
+    // dial; the revived node must see connections (3 of its own outbound
+    // writers + at least one inbound reader = a survivor reconnected).
+    let deadline = Instant::now() + TIMEOUT;
+    let mut s = 20u64;
+    while revived.connection_count() < 4 {
+        assert!(
+            Instant::now() < deadline,
+            "survivors never reconnected to the revived peer ({} conns)",
+            revived.connection_count()
+        );
+        nodes[(s % 3) as usize].submit_tx(Tx::synthetic(NodeId((s % 3) as u16), s, 0, 250));
+        s += 1;
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    // And the cluster still makes progress after the revival.
+    let delivered_now = nodes[0].stats().map_or(0, |st| st.txs_delivered);
+    nodes[0].submit_tx(Tx::synthetic(NodeId(0), 999, 0, 250));
+    let deadline = Instant::now() + TIMEOUT;
+    while nodes[0]
+        .stats()
+        .is_none_or(|st| st.txs_delivered <= delivered_now)
+    {
+        assert!(
+            Instant::now() < deadline,
+            "cluster stopped delivering after peer revival"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    revived.shutdown();
+    for node in nodes {
+        node.shutdown();
+    }
+}
+
+#[test]
 fn cluster_tolerates_a_crashed_peer() {
     // Node 3 never comes up: its listener is dropped before anyone spawns.
     // The three live nodes' writers must give up on it (mark the outbox

@@ -29,6 +29,8 @@
 //! outstanding work", which is what [`Simulation::run_until_quiescent`]
 //! reports.
 
+pub mod fluid;
+
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -37,6 +39,8 @@ use dl_core::{
     NodeStats, ProtocolVariant, RealBlockCoder, SendQueue, StatEvent, Transport,
 };
 use dl_wire::{ClusterConfig, Envelope, NodeId, Tx};
+
+pub use fluid::{BlockStore, FluidCoder};
 
 /// Bandwidth and propagation delay of one directed link.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -79,6 +83,12 @@ pub struct SimConfig {
     /// Applied to every directed link; override per link with
     /// [`Simulation::set_link`].
     pub default_link: LinkSpec,
+    /// Fluid mode: nodes run the [`FluidCoder`] (declared-length
+    /// synthetic chunks, cluster-shared block store) instead of real
+    /// Reed–Solomon + Merkle work. Same wire bytes, no chunk
+    /// materialization — the way to simulate paper-scale block sizes and
+    /// large clusters.
+    pub fluid: bool,
 }
 
 impl SimConfig {
@@ -88,6 +98,15 @@ impl SimConfig {
             cluster: ClusterConfig::new(n),
             variant,
             default_link: LinkSpec::WAN,
+            fluid: false,
+        }
+    }
+
+    /// Like [`SimConfig::new`] but in fluid mode.
+    pub fn fluid(n: usize, variant: ProtocolVariant) -> SimConfig {
+        SimConfig {
+            fluid: true,
+            ..SimConfig::new(n, variant)
         }
     }
 }
@@ -257,19 +276,58 @@ impl EffectSink for FabricSink<'_> {
 pub struct Simulation {
     nodes: Vec<Box<dyn Engine>>,
     fabric: Fabric,
+    /// The shared dispersal oracle in fluid mode.
+    store: Option<BlockStore>,
+}
+
+/// Construct the engine occupying one slot, with the coder family the
+/// simulation runs (fluid or real) — faulty members must use the same
+/// coder as honest ones so their dispersals take the same wire shape.
+fn build_engine(
+    cluster: &ClusterConfig,
+    variant: ProtocolVariant,
+    store: Option<&BlockStore>,
+    node: usize,
+    kind: SimNodeKind,
+) -> Box<dyn Engine> {
+    fn boxed<C>(id: NodeId, cfg: NodeConfig, coder: C, kind: SimNodeKind) -> Box<dyn Engine>
+    where
+        C: dl_core::BlockCoder + 'static,
+    {
+        match kind {
+            SimNodeKind::Honest => Box::new(Node::new(id, cfg, coder)),
+            SimNodeKind::Mute => {
+                Box::new(ByzantineNode::new(id, cfg, coder, ByzantineBehavior::Mute))
+            }
+            SimNodeKind::Equivocate => Box::new(ByzantineNode::new(
+                id,
+                cfg,
+                coder,
+                ByzantineBehavior::Equivocate,
+            )),
+        }
+    }
+    let id = NodeId(node as u16);
+    let cfg = NodeConfig::new(cluster.clone(), variant);
+    match store {
+        Some(store) => boxed(id, cfg, FluidCoder::new(cluster, store.clone()), kind),
+        None => boxed(id, cfg, RealBlockCoder::new(cluster), kind),
+    }
 }
 
 impl Simulation {
     pub fn new(cfg: SimConfig) -> Simulation {
         let n = cfg.cluster.n;
-        let node_cfg = NodeConfig::new(cfg.cluster.clone(), cfg.variant);
+        let store = cfg.fluid.then(BlockStore::new);
         let nodes = (0..n)
             .map(|i| {
-                Box::new(Node::new(
-                    NodeId(i as u16),
-                    node_cfg.clone(),
-                    RealBlockCoder::new(&cfg.cluster),
-                )) as Box<dyn Engine>
+                build_engine(
+                    &cfg.cluster,
+                    cfg.variant,
+                    store.as_ref(),
+                    i,
+                    SimNodeKind::Honest,
+                )
             })
             .collect();
         let links = (0..n * n)
@@ -291,33 +349,21 @@ impl Simulation {
                 delivered: vec![Vec::new(); n],
                 stat_events: Vec::new(),
             },
+            store,
         }
     }
 
-    /// Replace the slot of `node` with a faulty member. Call before the
-    /// first `run_until_quiescent`.
+    /// Replace the slot of `node` with a faulty member (using the same
+    /// coder family — fluid or real — as the rest of the cluster). Call
+    /// before the first `run_until_quiescent`.
     pub fn set_node_kind(&mut self, node: usize, kind: SimNodeKind) {
-        let cluster = &self.fabric.cfg.cluster;
-        let node_cfg = NodeConfig::new(cluster.clone(), self.fabric.cfg.variant);
-        let engine: Box<dyn Engine> = match kind {
-            SimNodeKind::Honest => Box::new(Node::new(
-                NodeId(node as u16),
-                node_cfg,
-                RealBlockCoder::new(cluster),
-            )),
-            SimNodeKind::Mute => Box::new(ByzantineNode::new(
-                NodeId(node as u16),
-                node_cfg,
-                RealBlockCoder::new(cluster),
-                ByzantineBehavior::Mute,
-            )),
-            SimNodeKind::Equivocate => Box::new(ByzantineNode::new(
-                NodeId(node as u16),
-                node_cfg,
-                RealBlockCoder::new(cluster),
-                ByzantineBehavior::Equivocate,
-            )),
-        };
+        let engine = build_engine(
+            &self.fabric.cfg.cluster,
+            self.fabric.cfg.variant,
+            self.store.as_ref(),
+            node,
+            kind,
+        );
         self.set_engine(node, engine);
     }
 
@@ -359,7 +405,7 @@ impl Simulation {
     /// past the deadline) in place, so the run can be resumed with a later
     /// deadline.
     pub fn run_until_quiescent(&mut self, max_ms: u64) -> SimReport {
-        let Simulation { nodes, fabric } = self;
+        let Simulation { nodes, fabric, .. } = self;
         let mut quiesced = true;
         loop {
             match fabric.events.peek() {

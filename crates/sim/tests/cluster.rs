@@ -148,6 +148,109 @@ fn seven_node_cluster_smoke() {
 }
 
 #[test]
+fn fluid_mode_reproduces_the_real_coder_run_exactly() {
+    // Fluid chunks occupy byte-identical wire sizes, so a fluid run is
+    // not merely "similar" to the real-coder run — the event schedule is
+    // the same and every node delivers the same orders at the same
+    // virtual times.
+    for variant in ALL_VARIANTS {
+        let mut real = Simulation::new(SimConfig::new(4, variant));
+        let mut fluid = Simulation::new(SimConfig::fluid(4, variant));
+        submit_workload(&mut real, &[0, 1, 2, 3], 3);
+        submit_workload(&mut fluid, &[0, 1, 2, 3], 3);
+        let report_real = real.run_until_quiescent(600_000);
+        let report_fluid = fluid.run_until_quiescent(600_000);
+        assert!(report_fluid.quiesced, "{variant:?}: fluid did not quiesce");
+        assert_eq!(
+            report_fluid.now_ms, report_real.now_ms,
+            "{variant:?}: fluid virtual time diverged"
+        );
+        for i in 0..4 {
+            assert_eq!(
+                report_fluid.tx_order(i),
+                report_real.tx_order(i),
+                "{variant:?}: node {i} order diverged"
+            );
+            assert_eq!(
+                report_fluid.stats[i].unwrap().bytes_sent,
+                report_real.stats[i].unwrap().bytes_sent,
+                "{variant:?}: node {i} wire bytes diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn fluid_mode_tolerates_faulty_members() {
+    // The fault machinery runs unchanged on the fluid coder: a mute node
+    // and an equivocator in a 7-node fluid cluster.
+    let mut sim = Simulation::new(SimConfig::fluid(7, ProtocolVariant::Dl));
+    sim.set_node_kind(2, SimNodeKind::Mute);
+    sim.set_node_kind(5, SimNodeKind::Equivocate);
+    submit_workload(&mut sim, &[0, 1, 3], 2);
+    let report = sim.run_until_quiescent(600_000);
+    assert!(report.quiesced, "fluid cluster with faults did not quiesce");
+    assert_total_order(&report, &[0, 1, 3, 4, 6], 6);
+}
+
+#[test]
+fn fluid_mode_runs_paper_scale_blocks() {
+    // The point of fluid mode: megabyte-class declared payloads through
+    // a simulated WAN without materializing chunk bytes. 4 nodes, four
+    // 256 KB transactions → ~1 MB of dispersed payload per epoch wave.
+    let mut sim = Simulation::new(SimConfig::fluid(4, ProtocolVariant::Dl));
+    for i in 0..4usize {
+        sim.submit_at(i, 0, Tx::synthetic(NodeId(i as u16), 0, 0, 256 * 1000));
+    }
+    let report = sim.run_until_quiescent(60_000_000);
+    assert!(report.quiesced, "paper-scale fluid run did not quiesce");
+    assert_total_order(&report, &[0, 1, 2, 3], 4);
+}
+
+/// Executable anchor for the ROADMAP's known liveness edge (found while
+/// verifying PR 4): an uplink so slow (≲ 6 bytes/ms at default Nagle
+/// settings) that the straggler's dispersal misses its epoch's BA commit
+/// *every* epoch makes the link-rescue proposal pressure self-sustaining —
+/// each rescue epoch proposes a fresh empty block that also misses, so
+/// empty epochs continue forever and the cluster never quiesces, even
+/// though every real transaction delivers. `#[ignore]`d because it
+/// documents a known-open bug, not a regression; run it with
+/// `cargo test -p dl-sim -- --ignored link_rescue` when working the fix.
+/// A fix needs care: naive "straggler abstains from empty proposals"
+/// breaks the two-straggler case where the epoch needs every honest
+/// dispersal for the `N−f` quorum.
+#[test]
+#[ignore = "documents the known link-rescue liveness edge (see ROADMAP); a fix must not break the two-straggler quorum case"]
+fn link_rescue_liveness_edge_at_extreme_uplink_asymmetry() {
+    let mut sim = Simulation::new(SimConfig::new(4, ProtocolVariant::Dl));
+    // Slow enough that even an empty block's dispersal misses its epoch.
+    sim.set_uplink(
+        3,
+        LinkSpec {
+            latency_ms: 40,
+            bytes_per_ms: 2,
+        },
+    );
+    submit_workload(&mut sim, &[0, 1, 2], 3);
+    let report = sim.run_until_quiescent(3_000_000);
+    // All real transactions deliver at the fast nodes…
+    for &i in &[0usize, 1, 2] {
+        assert_eq!(
+            report.tx_order(i).len(),
+            9,
+            "node {i} lost transactions (that would be a NEW bug)"
+        );
+    }
+    // …but the cluster never quiesces: self-sustaining empty rescue
+    // epochs. When a fix lands this assertion flips and the test should
+    // be un-ignored with `assert!(report.quiesced)`.
+    assert!(
+        !report.quiesced,
+        "the liveness edge no longer reproduces — if this is a fix, flip this test and close the ROADMAP item"
+    );
+}
+
+#[test]
 fn report_exposes_proposal_and_epoch_events() {
     let mut sim = Simulation::new(SimConfig::new(4, ProtocolVariant::Dl));
     sim.submit_at(0, 0, Tx::synthetic(NodeId(0), 0, 0, 128));

@@ -91,16 +91,34 @@ pub struct EncodedBlock {
 /// arena allocation and every chunk payload is a zero-copy window into it,
 /// so the `N`-recipient dispersal fan-out shares a single buffer. Decode
 /// likewise returns the payload as a window into the decoded frame.
+///
+/// Both directions run on a [`dl_pool::Pool`]: parity stripes and Merkle
+/// leaf hashing fan out across its workers (the default is the process
+/// pool, sized by `DL_POOL_THREADS`; `1` keeps every hot loop on the
+/// calling thread). Output is byte-identical for every pool size.
 #[derive(Clone, Debug)]
 pub struct RealCoder {
     rs: ReedSolomon,
+    pool: std::sync::Arc<dl_pool::Pool>,
 }
 
 impl RealCoder {
-    /// Coder for a cluster of `n` nodes tolerating `f` faults.
+    /// Coder for a cluster of `n` nodes tolerating `f` faults, encoding on
+    /// the process-wide pool ([`dl_pool::Pool::global`]).
     pub fn new(n: usize, f: usize) -> RealCoder {
+        RealCoder::with_pool(n, f, std::sync::Arc::clone(dl_pool::Pool::global()))
+    }
+
+    /// Coder running its data-plane loops on an explicit pool (tests and
+    /// benchmarks pin pool sizes this way).
+    pub fn with_pool(n: usize, f: usize, pool: std::sync::Arc<dl_pool::Pool>) -> RealCoder {
         let rs = ReedSolomon::for_cluster(n, f).expect("valid cluster parameters");
-        RealCoder { rs }
+        RealCoder { rs, pool }
+    }
+
+    /// The pool this coder encodes on.
+    pub fn pool(&self) -> &std::sync::Arc<dl_pool::Pool> {
+        &self.pool
     }
 }
 
@@ -116,8 +134,8 @@ impl Coder for RealCoder {
     }
 
     fn encode(&self, block: &bytes::Bytes) -> EncodedBlock {
-        let coded = self.rs.encode_block_shared(block);
-        let tree = MerkleTree::build(&coded.chunk_refs());
+        let coded = self.rs.encode_block_shared_pooled(block, &self.pool);
+        let tree = MerkleTree::build_pooled(&coded.chunk_refs(), &self.pool);
         let root = tree.root();
         let chunks = (0..coded.chunk_count())
             .map(|i| (ChunkPayload::Real(coded.chunk(i)), tree.prove(i as u32)))
@@ -140,7 +158,7 @@ impl Coder for RealCoder {
                 ChunkPayload::Synthetic { .. } => None,
             })
             .collect();
-        let block = match self.rs.reconstruct_block_shared(&refs) {
+        let block = match self.rs.reconstruct_block_shared_pooled(&refs, &self.pool) {
             Ok(b) => b,
             // An inconsistent frame can only come from a bad disperser: the
             // chunks were proof-checked against the root already.
@@ -148,8 +166,8 @@ impl Coder for RealCoder {
             Err(e) => panic!("retriever invariant violated: {e}"),
         };
         // The AVID-M check (Fig. 4, step 2-4): re-encode and compare roots.
-        let reencoded = self.rs.encode_block_shared(&block);
-        let recomputed = MerkleTree::build(&reencoded.chunk_refs()).root();
+        let reencoded = self.rs.encode_block_shared_pooled(&block, &self.pool);
+        let recomputed = MerkleTree::build_pooled(&reencoded.chunk_refs(), &self.pool).root();
         if recomputed == *root {
             Retrieved::Block(block)
         } else {

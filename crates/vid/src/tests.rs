@@ -552,6 +552,56 @@ fn dispersal_fan_out_shares_one_chunk_arena() {
 }
 
 #[test]
+fn pooled_dispersal_fan_out_preserves_the_zero_copy_invariant() {
+    // The tentpole must not regress PR 3/4's guarantee: with the encode
+    // and Merkle work fanned across a multi-thread pool, the N chunk
+    // payloads are still zero-copy windows into ONE codeword arena, and
+    // the bytes are identical to the serial coder's.
+    let n = 7;
+    let f = 2;
+    let pooled = RealCoder::with_pool(n, f, std::sync::Arc::new(dl_pool::Pool::new(4)));
+    let serial = RealCoder::with_pool(n, f, std::sync::Arc::new(dl_pool::Pool::serial()));
+    // Big enough that the parallel thresholds actually engage.
+    let b = block(600_000);
+    let enc_pooled = pooled.encode(&b);
+    let enc_serial = serial.encode(&b);
+    assert_eq!(enc_pooled.root, enc_serial.root, "pooled root diverged");
+
+    let mut base_ptr: Option<*const u8> = None;
+    let mut shard_len = 0usize;
+    for (i, ((payload, proof), (payload_s, proof_s))) in
+        enc_pooled.chunks.iter().zip(&enc_serial.chunks).enumerate()
+    {
+        assert_eq!(proof, proof_s, "proof {i} diverged");
+        let (dl_wire::ChunkPayload::Real(bytes), dl_wire::ChunkPayload::Real(bytes_s)) =
+            (payload, payload_s)
+        else {
+            panic!("real coder sends real payloads");
+        };
+        assert_eq!(bytes.as_ref(), bytes_s.as_ref(), "chunk {i} bytes diverged");
+        let base = *base_ptr.get_or_insert_with(|| {
+            shard_len = bytes.len();
+            bytes.as_ref().as_ptr()
+        });
+        // Pointer identity: chunk i is a window into the shared arena.
+        assert_eq!(
+            bytes.as_ref().as_ptr(),
+            unsafe { base.add(i * shard_len) },
+            "pooled chunk {i} is not a view into the shared arena"
+        );
+    }
+
+    // And decode through the pooled coder returns the block.
+    let subset: Vec<(u32, dl_wire::ChunkPayload)> = (f as u32..(n as u32 - f as u32))
+        .map(|i| (i, enc_pooled.chunks[i as usize].0.clone()))
+        .collect();
+    assert_eq!(
+        pooled.decode(&enc_pooled.root, &subset),
+        Retrieved::Block(b)
+    );
+}
+
+#[test]
 fn big_block_roundtrip_through_full_protocol() {
     let mut net = Net::new(16, 5, 3);
     let b = block(300_000);
