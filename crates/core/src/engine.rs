@@ -73,6 +73,23 @@ pub trait Engine {
     /// transport-authenticated sender.
     fn handle(&mut self, from: NodeId, env: Envelope, now: u64, sink: &mut dyn EffectSink);
 
+    /// A burst of envelopes from one peer that arrived at the same
+    /// instant (e.g. one transmission frame). Semantically identical to
+    /// calling [`Engine::handle`] on each in order; engines may override
+    /// it to pay their per-call fixed costs (state lookups, pipeline
+    /// advancement) once per burst instead of once per envelope.
+    fn handle_burst(
+        &mut self,
+        from: NodeId,
+        envs: &mut Vec<Envelope>,
+        now: u64,
+        sink: &mut dyn EffectSink,
+    ) {
+        for env in envs.drain(..) {
+            self.handle(from, env, now, sink);
+        }
+    }
+
     /// Entry point 3/3: the clock advanced.
     fn poll(&mut self, now: u64, sink: &mut dyn EffectSink);
 

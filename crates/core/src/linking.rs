@@ -80,6 +80,19 @@ impl CompletionTracker {
 /// Requires at least `f+1` observations (an epoch commits `≥ N−f ≥ 2f+1`
 /// blocks, so this always holds for committed epochs).
 pub fn compute_linking_estimate(observations: &[Observation], n: usize, f: usize) -> Vec<u64> {
+    let borrowed: Vec<Option<&[u64]>> = observations.iter().map(|o| Some(o.0.as_slice())).collect();
+    compute_linking_estimate_borrowed(&borrowed, n, f)
+}
+
+/// [`compute_linking_estimate`] over borrowed observation arrays; `None`
+/// stands for the all-∞ observation of a Byzantine block (paper footnote
+/// 5). The delivery hot path calls this on every attempt, so it must not
+/// clone the arrays out of the retrieved blocks.
+pub fn compute_linking_estimate_borrowed(
+    observations: &[Option<&[u64]>],
+    n: usize,
+    f: usize,
+) -> Vec<u64> {
     assert!(
         observations.len() > f,
         "need more than f observations to compute a safe estimate"
@@ -91,11 +104,15 @@ pub fn compute_linking_estimate(observations: &[Observation], n: usize, f: usize
         for obs in observations {
             // Short observation arrays (malformed proposer) count as 0 for
             // missing entries — the conservative choice.
-            column.push(obs.0.get(j).copied().unwrap_or(0));
+            column.push(match obs {
+                Some(v) => v.get(j).copied().unwrap_or(0),
+                None => u64::MAX,
+            });
         }
-        // (f+1)-th largest = element at index f in descending order.
-        column.sort_unstable_by(|a, b| b.cmp(a));
-        *e = column[f];
+        // (f+1)-th largest = element at index f in descending order;
+        // selection beats a full sort on the hot path.
+        let (_, kth, _) = column.select_nth_unstable_by(f, |a, b| b.cmp(a));
+        *e = *kth;
     }
     estimate
 }

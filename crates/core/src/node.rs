@@ -57,7 +57,7 @@ use dl_wire::{BaMsg, Block, BlockHeader, Envelope, Epoch, NodeId, ProtoMsg, Tx, 
 
 use crate::coder::BlockCoder;
 use crate::engine::{EffectSink, Engine};
-use crate::linking::{compute_linking_estimate, CompletionTracker, Observation};
+use crate::linking::{compute_linking_estimate_borrowed, CompletionTracker};
 use crate::queue::InputQueue;
 use crate::variant::{NodeConfig, ProposeGate};
 
@@ -173,6 +173,15 @@ struct EpochState<C: Coder> {
     servers: Vec<Option<VidServer<C>>>,
     bas: Vec<Ba>,
     decided: Vec<Option<bool>>,
+    /// How many slots of `decided` are `Some` — kept incrementally so the
+    /// per-decision bookkeeping never rescans the vector (at N=64 those
+    /// rescans dominated the whole sim event loop).
+    decided_count: usize,
+    /// How many slots decided 1 (the ACS quorum counter).
+    decided_ones: usize,
+    /// Whether the ACS zero-fill (input 0 to every un-input BA once `N−f`
+    /// ones are in) has already been issued for this epoch.
+    acs_zeroed: bool,
     /// Local VID completion per proposer.
     completed: Vec<bool>,
     retrievers: Vec<Option<Retriever<C>>>,
@@ -189,6 +198,9 @@ impl<C: Coder> EpochState<C> {
             servers: (0..n).map(|_| Some(VidServer::new(me, n, f))).collect(),
             bas: salts.map(|s| Ba::new(n, f, s)).collect(),
             decided: vec![None; n],
+            decided_count: 0,
+            decided_ones: 0,
+            acs_zeroed: false,
             completed: vec![false; n],
             retrievers: (0..n).map(|_| None).collect(),
             retrieved: vec![None; n],
@@ -197,7 +209,7 @@ impl<C: Coder> EpochState<C> {
     }
 
     fn all_decided(&self) -> bool {
-        self.decided.iter().all(Option::is_some)
+        self.decided_count == self.decided.len()
     }
 }
 
@@ -220,9 +232,25 @@ pub struct Node<C: BlockCoder> {
     /// `(epoch, proposer)` dispersals that completed locally but have not
     /// been delivered. Entries at or below the delivered frontier missed
     /// their epoch's commit and need a *later* epoch's linking estimate to
-    /// be rescued (§4.3) — their presence counts as proposal pressure so
-    /// the pipeline keeps moving until they are delivered.
+    /// be rescued (§4.3).
     undelivered_completions: BTreeSet<(u64, u16)>,
+    /// Epochs in which *we* proposed a non-empty block that has not been
+    /// delivered yet (linking variants only). Only these entries count as
+    /// link-rescue proposal pressure: a node keeps the pipeline moving for
+    /// its own stranded transactions, never for peers' empty blocks —
+    /// otherwise extreme uplink asymmetry makes the pressure
+    /// self-sustaining (every rescue epoch strands a fresh empty block of
+    /// the straggler's, which re-arms the pressure forever).
+    my_nonempty_proposals: BTreeSet<u64>,
+    /// Whether anything changed since the last delivery attempt that could
+    /// let `try_finalize_next` make progress (a BA decision or a finished
+    /// retrieval). Skipping the attempt otherwise keeps the per-event cost
+    /// of the hot loop constant.
+    pipeline_dirty: bool,
+    /// Reusable work-queue buffer for [`Node::run`] — every inbound message
+    /// drives one `run` call, so allocating a fresh queue per message shows
+    /// up directly in simulator throughput.
+    work_scratch: VecDeque<Work>,
     /// The epoch our next proposal belongs to.
     next_propose_epoch: u64,
     /// Highest epoch we have proposed for (0 = none yet).
@@ -257,6 +285,9 @@ impl<C: BlockCoder> Node<C> {
             delivered: vec![CompletionTracker::new(); n],
             my_txs: BTreeMap::new(),
             undelivered_completions: BTreeSet::new(),
+            my_nonempty_proposals: BTreeSet::new(),
+            pipeline_dirty: false,
+            work_scratch: VecDeque::new(),
             next_propose_epoch: 1,
             proposed_up_to: 0,
             epoch_entered_ms: 0,
@@ -307,7 +338,8 @@ impl<C: BlockCoder> Node<C> {
     pub fn submit_tx(&mut self, tx: Tx, now: u64, sink: &mut dyn EffectSink) {
         self.stats.txs_submitted += 1;
         self.queue.push(tx);
-        self.run(VecDeque::new(), now, sink)
+        let work = std::mem::take(&mut self.work_scratch);
+        self.run(work, now, sink)
     }
 
     /// Entry point 2/3: a peer's envelope arrived. `from` is the
@@ -315,6 +347,32 @@ impl<C: BlockCoder> Node<C> {
     /// too-far-future envelopes are dropped (Byzantine peers may send
     /// anything).
     pub fn handle(&mut self, from: NodeId, env: Envelope, now: u64, sink: &mut dyn EffectSink) {
+        let mut work = std::mem::take(&mut self.work_scratch);
+        self.admit_envelope(from, env, &mut work);
+        self.run(work, now, sink)
+    }
+
+    /// [`Node::handle`] over a burst of same-instant envelopes from one
+    /// peer: each is validated and enqueued, then the engine runs once —
+    /// the pipeline-advance fixed cost is paid per burst, not per message.
+    pub fn handle_burst(
+        &mut self,
+        from: NodeId,
+        envs: &mut Vec<Envelope>,
+        now: u64,
+        sink: &mut dyn EffectSink,
+    ) {
+        let mut work = std::mem::take(&mut self.work_scratch);
+        for env in envs.drain(..) {
+            self.admit_envelope(from, env, &mut work);
+        }
+        self.run(work, now, sink)
+    }
+
+    /// Validate an inbound envelope and, if acceptable, enqueue its work
+    /// item. Malformed, out-of-range and too-far-future envelopes are
+    /// dropped here (Byzantine peers may send anything).
+    fn admit_envelope(&mut self, from: NodeId, env: Envelope, work: &mut VecDeque<Work>) {
         let n = self.cfg.cluster.n;
         let e = env.epoch.0;
         if e == 0 || e > self.agreement_frontier + self.cfg.epoch_lookahead {
@@ -340,7 +398,6 @@ impl<C: BlockCoder> Node<C> {
             self.epochs.get_mut(&e).expect("just ensured").activity = true;
         }
         let index = env.index.idx();
-        let mut work = VecDeque::new();
         work.push_back(match env.payload {
             ProtoMsg::Vid(msg) => Work::Vid {
                 epoch: e,
@@ -355,13 +412,13 @@ impl<C: BlockCoder> Node<C> {
                 msg,
             },
         });
-        self.run(work, now, sink)
     }
 
     /// Entry point 3/3: the clock advanced. Drives the Nagle proposal rule
     /// and anything else that is time- rather than message-triggered.
     pub fn poll(&mut self, now: u64, sink: &mut dyn EffectSink) {
-        self.run(VecDeque::new(), now, sink)
+        let work = std::mem::take(&mut self.work_scratch);
+        self.run(work, now, sink)
     }
 
     // ---- the engine ----
@@ -382,6 +439,8 @@ impl<C: BlockCoder> Node<C> {
                 break;
             }
         }
+        // Hand the (now empty) buffer back for the next entry point.
+        self.work_scratch = work;
     }
 
     fn step(&mut self, w: Work, work: &mut VecDeque<Work>, out: &mut dyn EffectSink) {
@@ -598,6 +657,7 @@ impl<C: BlockCoder> Node<C> {
             .get_mut(&epoch)
             .expect("retrieval implies state");
         st.retrieved[index] = Some(block);
+        self.pipeline_dirty = true;
         if self.cfg.flags.vote_requires_retrieval && st.completed[index] {
             work.push_back(Work::BaInput {
                 epoch,
@@ -618,20 +678,27 @@ impl<C: BlockCoder> Node<C> {
     ) {
         let n = self.cfg.cluster.n;
         let f = self.cfg.cluster.f;
-        self.epochs
-            .get_mut(&epoch)
-            .expect("decision implies state")
-            .decided[index] = Some(value);
+        let st = self.epochs.get_mut(&epoch).expect("decision implies state");
+        if st.decided[index].is_none() {
+            st.decided[index] = Some(value);
+            st.decided_count += 1;
+            if value {
+                st.decided_ones += 1;
+            }
+        }
+        self.pipeline_dirty = true;
         if value {
             // The block is committed; fetch it if we have not already. This
             // is where DispersedLedger decouples: the retrieval proceeds at
             // our own bandwidth without holding up later epochs.
             self.start_retrieval(epoch, index, work, out);
         }
-        // ACS rule: once N−f BAs decided 1, input 0 to the rest (§4.1).
-        let st = self.epochs.get(&epoch).expect("state exists");
-        let ones = st.decided.iter().filter(|d| **d == Some(true)).count();
-        if ones >= n - f {
+        // ACS rule: once N−f BAs decided 1, input 0 to the rest (§4.1). The
+        // `acs_zeroed` latch makes this fire exactly once per epoch instead
+        // of rescanning all N BAs on every late decision.
+        let st = self.epochs.get_mut(&epoch).expect("state exists");
+        if st.decided_ones >= n - f && !st.acs_zeroed {
+            st.acs_zeroed = true;
             for j in 0..n {
                 if !st.bas[j].has_input() {
                     work.push_back(Work::BaInput {
@@ -676,7 +743,12 @@ impl<C: BlockCoder> Node<C> {
     /// Time- and pipeline-driven progress: deliveries, epoch advancement,
     /// proposals, wake-up hints.
     fn advance(&mut self, now: u64, work: &mut VecDeque<Work>, out: &mut dyn EffectSink) {
-        while self.try_finalize_next(now, work, out) {}
+        // Only attempt delivery when a decision or retrieval landed since
+        // the last attempt — those are the only inputs that can unblock it.
+        if self.pipeline_dirty {
+            self.pipeline_dirty = false;
+            while self.try_finalize_next(now, work, out) {}
+        }
         // Epoch progression for proposals: DispersedLedger moves on when
         // agreement finishes; HoneyBadger waits for full delivery (§6.2).
         loop {
@@ -726,23 +798,42 @@ impl<C: BlockCoder> Node<C> {
         self.propose(e, work, out);
     }
 
-    /// Whether some dispersal that completed locally missed its epoch's
-    /// commit and now waits on a later epoch's linking estimate. Without
-    /// this pressure an otherwise-idle cluster would strand such blocks
-    /// (and their transactions) forever.
+    /// Whether one of *our own non-empty* dispersals completed locally,
+    /// missed its epoch's commit, and now waits on a later epoch's linking
+    /// estimate. Without this pressure an otherwise-idle cluster would
+    /// strand the block (and our transactions) forever.
+    ///
+    /// Pressure is deliberately restricted to our own transaction-bearing
+    /// blocks. The earlier rule — any undelivered completion of any peer
+    /// counts — had a liveness edge: at extreme uplink asymmetry the
+    /// straggler's dispersal misses its epoch's commit *every* epoch, so
+    /// each rescue epoch stranded a fresh empty block of the straggler's
+    /// and re-armed the pressure, and the cluster never quiesced. Empty
+    /// blocks carry nothing worth rescuing, and a peer's non-empty block
+    /// is its proposer's job: the proposer's own pressure starts the next
+    /// epoch, and its dispersal traffic gives everyone else `activity`
+    /// pressure, which is what the `N−f` quorum (including the
+    /// two-straggler case needing every honest dispersal) actually relies
+    /// on.
     ///
     /// An entry only counts while it is *rescuable*: the linking estimate
     /// is built from contiguous completion prefixes (`V[j]`), so a block
     /// at epoch `t` can never be linked while an earlier dispersal of the
-    /// same proposer is missing. Gating on our own prefix makes a
-    /// Byzantine proposer who leaves a permanent gap cost nothing — the
-    /// entry stays parked instead of driving empty proposals forever. If
-    /// the gap later fills (completions propagate, AVID-M Agreement), the
-    /// prefix advances and the pressure resumes.
+    /// same proposer is missing, and pressure waits for our local
+    /// completion prefix to cover it.
     fn link_rescue_pending(&self) -> bool {
-        self.cfg.flags.linking
-            && self.undelivered_completions.iter().any(|&(t, j)| {
-                t <= self.delivered_frontier && t <= self.trackers[j as usize].prefix()
+        if !self.cfg.flags.linking {
+            return false;
+        }
+        let me = self.me.0;
+        // `my_nonempty_proposals` holds only stranded-or-in-flight own
+        // proposals, so this range scan touches a handful of entries, not
+        // the whole completion backlog.
+        self.my_nonempty_proposals
+            .range(..=self.delivered_frontier)
+            .any(|&t| {
+                self.undelivered_completions.contains(&(t, me))
+                    && t <= self.trackers[me as usize].prefix()
             })
     }
 
@@ -782,16 +873,20 @@ impl<C: BlockCoder> Node<C> {
             empty: block.body.is_empty(),
         });
         // Without linking our block can miss the commit and be dropped
-        // (§4.2): keep the body so it can be re-queued. With linking every
-        // completed dispersal is eventually delivered, so nothing to keep.
+        // (§4.2): keep the body so it can be re-queued. With linking a
+        // completed transaction-bearing dispersal is eventually delivered —
+        // remember the epoch so its rescue counts as proposal pressure.
         if !self.cfg.flags.linking {
             self.my_txs.insert(epoch, block.body.clone());
+        } else if !block.body.is_empty() {
+            self.my_nonempty_proposals.insert(epoch);
         }
         // We never retrieve our own block over the network.
         let packed = self.coder.pack(&block);
         let effects = Disperser::disperse(&self.coder, &packed);
         let st = self.epochs.get_mut(&epoch).expect("just ensured");
         st.retrieved[self.me.idx()] = Some(Some(block));
+        self.pipeline_dirty = true;
         self.proposed_up_to = epoch;
         self.apply_vid_effects(epoch, self.me.idx(), effects, work, out);
     }
@@ -831,16 +926,19 @@ impl<C: BlockCoder> Node<C> {
         // must be delivered alongside this epoch.
         let st = self.epochs.get(&epoch).expect("state exists");
         let linked_up_to: Vec<u64> = if self.cfg.flags.linking && committed.len() > f {
-            let observations: Vec<Observation> = committed
+            // Borrow the observation arrays straight out of the retrieved
+            // blocks — this runs on every delivery attempt, and cloning N
+            // length-N arrays here was quadratic per attempt.
+            let observations: Vec<Option<&[u64]>> = committed
                 .iter()
                 .map(|&j| match &st.retrieved[j] {
-                    Some(Some(b)) => Observation(b.header.v_array.clone()),
+                    Some(Some(b)) => Some(b.header.v_array.as_slice()),
                     // Byzantine blocks count as the all-∞ observation
                     // (paper footnote 5); the f+1-th-largest rule caps it.
-                    _ => Observation::infinite(n),
+                    _ => None,
                 })
                 .collect();
-            compute_linking_estimate(&observations, n, f)
+            compute_linking_estimate_borrowed(&observations, n, f)
                 .into_iter()
                 .map(|e| e.min(epoch))
                 .collect()
@@ -886,6 +984,9 @@ impl<C: BlockCoder> Node<C> {
                 .expect("checked above");
             self.delivered[j as usize].complete(Epoch(t));
             self.undelivered_completions.remove(&(t, j));
+            if j == self.me.0 {
+                self.my_nonempty_proposals.remove(&t);
+            }
             // A late linking rescue below the GC horizon: release the slot
             // the bulk pass left behind (it only frees delivered slots).
             if t < self.gc_horizon {
@@ -1017,6 +1118,16 @@ impl<C: BlockCoder> Engine for Node<C> {
 
     fn handle(&mut self, from: NodeId, env: Envelope, now: u64, sink: &mut dyn EffectSink) {
         Node::handle(self, from, env, now, sink)
+    }
+
+    fn handle_burst(
+        &mut self,
+        from: NodeId,
+        envs: &mut Vec<Envelope>,
+        now: u64,
+        sink: &mut dyn EffectSink,
+    ) {
+        Node::handle_burst(self, from, envs, now, sink)
     }
 
     fn poll(&mut self, now: u64, sink: &mut dyn EffectSink) {
@@ -1334,6 +1445,73 @@ mod tests {
     /// to have actually collected something.
     fn cfg_window_epochs() -> u64 {
         3
+    }
+
+    #[test]
+    fn gc_collected_epoch_cannot_be_resurrected_by_stray_envelopes() {
+        // Run a cluster past the GC horizon, then hit one node with
+        // Byzantine traffic addressed to a fully-collected epoch: BA
+        // votes, VID dispersal votes, chunk pushes and retrieval
+        // requests. None of it may recreate epoch state, produce wire
+        // effects, or move the frontiers — a resurrected epoch would be
+        // unbounded-memory under attacker control.
+        let cluster = ClusterConfig::new(4);
+        let mut cfg = NodeConfig::new(cluster.clone(), ProtocolVariant::Dl);
+        cfg.epoch_lookahead = 2;
+        let mut mesh = Mesh::with_cfg(4, cfg);
+        for round in 0..12u64 {
+            mesh.submit(
+                (round % 4) as usize,
+                Tx::synthetic(NodeId((round % 4) as u16), round, mesh.now, 80),
+            );
+            mesh.run(25, 10, &[]);
+        }
+        mesh.run(400, 10, &[]);
+        let now = mesh.now;
+        let node = &mut mesh.nodes[0];
+        let dead = 1u64;
+        assert!(
+            node.gc_horizon > dead,
+            "cluster never crossed the GC horizon (horizon {})",
+            node.gc_horizon
+        );
+        assert!(
+            !node.epochs.contains_key(&dead),
+            "epoch {dead} was not collected — the probe below would not test resurrection"
+        );
+        let frontier = node.delivered_frontier();
+        let epochs_before = node.epochs.len();
+        let root = Hash::digest(b"resurrection-probe");
+        let stray = [
+            Envelope::ba(
+                Epoch(dead),
+                NodeId(2),
+                BaMsg::BVal {
+                    round: 0,
+                    value: true,
+                },
+            ),
+            Envelope::ba(Epoch(dead), NodeId(2), BaMsg::Term { value: true }),
+            Envelope::vid(Epoch(dead), NodeId(2), VidMsg::GotChunk { root }),
+            Envelope::vid(Epoch(dead), NodeId(2), VidMsg::Ready { root }),
+            Envelope::vid(Epoch(dead), NodeId(2), VidMsg::RequestChunk),
+        ];
+        for env in stray {
+            let effs = node.handle_vec(NodeId(2), env, now);
+            assert!(
+                !effs
+                    .iter()
+                    .any(|e| matches!(e, NodeEffect::Send(..) | NodeEffect::Deliver(..))),
+                "stray envelope for a collected epoch produced wire effects"
+            );
+        }
+        assert_eq!(
+            node.epochs.len(),
+            epochs_before,
+            "stray traffic resurrected per-epoch state"
+        );
+        assert!(!node.epochs.contains_key(&dead));
+        assert_eq!(node.delivered_frontier(), frontier);
     }
 
     #[test]

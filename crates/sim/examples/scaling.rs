@@ -1,0 +1,57 @@
+//! Quick scaling probe for the fluid-mode event loop: run DL clusters at
+//! several N and print events processed, wall time and wall-ns/event.
+//!
+//! ```sh
+//! cargo run --release -p dl-sim --example scaling -- 4 16 64
+//! ```
+
+use std::time::Instant;
+
+use dl_core::ProtocolVariant;
+use dl_sim::{SimConfig, Simulation};
+use dl_wire::{NodeId, Tx};
+
+fn main() {
+    let sizes: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("cluster size"))
+        .collect();
+    let sizes = if sizes.is_empty() {
+        vec![4, 16, 64]
+    } else {
+        sizes
+    };
+    for n in sizes {
+        let mut sim = Simulation::new(SimConfig::fluid(n, ProtocolVariant::Dl));
+        let txs = 8usize;
+        for i in 0..txs {
+            let node = i % n;
+            sim.submit_at(
+                node,
+                (i as u64) * 150,
+                Tx::synthetic(NodeId(node as u16), i as u64, (i as u64) * 150, 50_000),
+            );
+        }
+        let start = Instant::now();
+        let report = sim.run_until_quiescent(600_000_000);
+        let wall = start.elapsed();
+        let stats = report.stats[0].unwrap();
+        let msgs: u64 = report.stats.iter().flatten().map(|s| s.msgs_sent).sum();
+        let proposed: u64 = report
+            .stats
+            .iter()
+            .flatten()
+            .map(|s| s.blocks_proposed)
+            .sum();
+        println!(
+            "N={n:<4} quiesced={} epochs={} events={} msgs={} proposed={} wall={:?} ns/event={:.0}",
+            report.quiesced,
+            stats.epochs_delivered,
+            report.events_processed,
+            msgs,
+            proposed,
+            wall,
+            report.wall_ns_per_event(wall),
+        );
+    }
+}

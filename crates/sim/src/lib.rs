@@ -32,7 +32,7 @@
 pub mod fluid;
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 use dl_core::{
     ByzantineBehavior, ByzantineNode, DeliveredBlock, EffectSink, Engine, Node, NodeConfig,
@@ -119,6 +119,12 @@ pub struct SimReport {
     /// True if the event heap drained (all protocol work finished) before
     /// the deadline.
     pub quiesced: bool,
+    /// Discrete events processed since the simulation was constructed —
+    /// the denominator for per-event cost accounting. Submissions, polls
+    /// and link pumps count one each; an arrival burst counts one per
+    /// delivered envelope (the unit of protocol work is the message, not
+    /// the heap pop). Cumulative across resumed runs.
+    pub events_processed: u64,
     /// Per node, every block it delivered, in delivery order. Byzantine
     /// slots stay empty.
     pub delivered: Vec<Vec<DeliveredBlock>>,
@@ -137,12 +143,34 @@ impl SimReport {
             .flat_map(|b| b.body.iter().map(Tx::id))
             .collect()
     }
+
+    /// Wall nanoseconds per processed event, given the measured wall time
+    /// of the run — the scaling metric: for a loop with no superlinear
+    /// per-message cost this stays roughly flat as N grows.
+    pub fn wall_ns_per_event(&self, wall: std::time::Duration) -> f64 {
+        if self.events_processed == 0 {
+            return 0.0;
+        }
+        wall.as_nanos() as f64 / self.events_processed as f64
+    }
 }
 
 struct Link {
     spec: LinkSpec,
     busy_until: u64,
     queue: SendQueue,
+    /// Transmitted envelopes in flight, with their arrival times. Arrival
+    /// times on one link are monotone (transmissions serialize and the
+    /// latency is constant), so this is a plain FIFO — keeping the
+    /// envelopes here instead of inside heap events keeps the global heap
+    /// small and its entries a few words, which is what makes the event
+    /// loop's per-event cost flat in cluster size (a 64-node cluster has
+    /// tens of thousands of messages in flight at any instant).
+    inflight: VecDeque<(u64, Envelope)>,
+    /// Whether a heap event for this link's head arrival is outstanding.
+    arrive_scheduled: bool,
+    /// Whether a pump event at `busy_until` is outstanding.
+    ready_scheduled: bool,
 }
 
 enum EvKind {
@@ -153,12 +181,13 @@ enum EvKind {
     Poll {
         node: NodeId,
     },
+    /// The head of the link's in-flight FIFO arrives.
     Arrive {
         from: NodeId,
         to: NodeId,
-        env: Envelope,
     },
-    /// The link finished a transmission; pump its queue.
+    /// The link finished a transmission while it had backlog; pump its
+    /// queue.
     LinkReady {
         from: NodeId,
         to: NodeId,
@@ -167,6 +196,13 @@ enum EvKind {
 
 struct Ev {
     at: u64,
+    /// Destination-affinity tie-break key: events at the same virtual time
+    /// are concurrent, so any deterministic order is protocol-correct. We
+    /// group them by the node whose state they touch — at N=64 a single
+    /// millisecond carries thousands of arrivals, and processing each
+    /// node's share as one burst keeps that node's epoch state cache-warm
+    /// instead of hopping randomly across the whole cluster's.
+    node_key: u16,
     seq: u64,
     kind: EvKind,
 }
@@ -184,8 +220,9 @@ impl PartialOrd for Ev {
 }
 impl Ord for Ev {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap by (time, insertion order) under std's max-heap.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        // Min-heap by (time, destination, insertion order) under std's
+        // max-heap.
+        (other.at, other.node_key, other.seq).cmp(&(self.at, self.node_key, self.seq))
     }
 }
 
@@ -200,6 +237,7 @@ struct Fabric {
     events: BinaryHeap<Ev>,
     seq: u64,
     now: u64,
+    events_processed: u64,
     scheduled_polls: HashSet<(u64, u16)>,
     delivered: Vec<Vec<DeliveredBlock>>,
     stat_events: Vec<(u64, NodeId, StatEvent)>,
@@ -207,24 +245,80 @@ struct Fabric {
 
 impl Fabric {
     fn push_event(&mut self, at: u64, kind: EvKind) {
+        let node_key = match &kind {
+            EvKind::Submit { node, .. } | EvKind::Poll { node } => node.0,
+            EvKind::Arrive { to, .. } => to.0,
+            // Pumps touch only link state, which is stored row-major by
+            // sender — key them by `from` so a sender's pump burst walks
+            // one contiguous row of `links`.
+            EvKind::LinkReady { from, .. } => from.0,
+        };
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Ev { at, seq, kind });
+        self.events.push(Ev {
+            at,
+            node_key,
+            seq,
+            kind,
+        });
     }
 
-    /// Start the next transmission on the link if it is idle.
+    /// Start the next transmission on the link if it is idle, and keep
+    /// exactly one pump event outstanding while it has backlog.
+    ///
+    /// Transmissions are *frames*: everything queued, in §5 priority
+    /// order, up to one millisecond of link capacity goes out as a single
+    /// transmission — the way a real transport coalesces small messages
+    /// into segments. Without framing, every sub-millisecond message
+    /// would be charged the 1 ms event-grid minimum (a ~20× bandwidth
+    /// distortion for ~60-byte BA messages) and would cost its own pair
+    /// of heap events; with it, both the virtual byte accounting and the
+    /// event count track the frame, so per-message simulator overhead
+    /// stays flat as bursts grow.
     fn pump_link(&mut self, from: NodeId, to: NodeId) {
         let now = self.now;
         let link = &mut self.links[from.idx() * self.cfg.cluster.n + to.idx()];
         if link.busy_until > now {
-            return; // a LinkReady event will re-pump
+            // Busy: make sure the backlog gets pumped when the current
+            // transmission ends.
+            if !link.queue.is_empty() && !link.ready_scheduled {
+                link.ready_scheduled = true;
+                let at = link.busy_until;
+                self.push_event(at, EvKind::LinkReady { from, to });
+            }
+            return;
         }
-        let Some(env) = link.queue.pop() else { return };
-        let tx_ms = link.spec.tx_ms(env.wire_size());
-        let latency = link.spec.latency_ms;
+        // Fill the frame: at least one envelope, then keep going while the
+        // frame is still under one millisecond of capacity.
+        let budget = link.spec.bytes_per_ms as usize;
+        let mut frame_bytes = 0usize;
+        let mut popped = 0usize;
+        while frame_bytes < budget {
+            let Some(env) = link.queue.pop() else { break };
+            frame_bytes += env.wire_size();
+            link.inflight.push_back((0, env)); // arrival time patched below
+            popped += 1;
+        }
+        if popped == 0 {
+            return;
+        }
+        let tx_ms = link.spec.tx_ms(frame_bytes);
+        let arrive_at = now + tx_ms + link.spec.latency_ms;
         link.busy_until = now + tx_ms;
-        self.push_event(now + tx_ms, EvKind::LinkReady { from, to });
-        self.push_event(now + tx_ms + latency, EvKind::Arrive { from, to, env });
+        let start = link.inflight.len() - popped;
+        for slot in link.inflight.iter_mut().skip(start) {
+            slot.0 = arrive_at;
+        }
+        let schedule_arrive = !link.arrive_scheduled;
+        link.arrive_scheduled = true;
+        let schedule_ready = !link.queue.is_empty() && !link.ready_scheduled;
+        link.ready_scheduled |= schedule_ready;
+        if schedule_arrive {
+            self.push_event(arrive_at, EvKind::Arrive { from, to });
+        }
+        if schedule_ready {
+            self.push_event(now + tx_ms, EvKind::LinkReady { from, to });
+        }
     }
 }
 
@@ -276,6 +370,8 @@ impl EffectSink for FabricSink<'_> {
 pub struct Simulation {
     nodes: Vec<Box<dyn Engine>>,
     fabric: Fabric,
+    /// Reusable buffer for one arrival burst (all envelopes of a frame).
+    burst: Vec<Envelope>,
     /// The shared dispersal oracle in fluid mode.
     store: Option<BlockStore>,
 }
@@ -335,6 +431,9 @@ impl Simulation {
                 spec: cfg.default_link,
                 busy_until: 0,
                 queue: SendQueue::new(),
+                inflight: VecDeque::new(),
+                arrive_scheduled: false,
+                ready_scheduled: false,
             })
             .collect();
         Simulation {
@@ -345,10 +444,12 @@ impl Simulation {
                 events: BinaryHeap::new(),
                 seq: 0,
                 now: 0,
+                events_processed: 0,
                 scheduled_polls: HashSet::new(),
                 delivered: vec![Vec::new(); n],
                 stat_events: Vec::new(),
             },
+            burst: Vec::new(),
             store,
         }
     }
@@ -405,7 +506,12 @@ impl Simulation {
     /// past the deadline) in place, so the run can be resumed with a later
     /// deadline.
     pub fn run_until_quiescent(&mut self, max_ms: u64) -> SimReport {
-        let Simulation { nodes, fabric, .. } = self;
+        let Simulation {
+            nodes,
+            fabric,
+            burst,
+            ..
+        } = self;
         let mut quiesced = true;
         loop {
             match fabric.events.peek() {
@@ -421,21 +527,60 @@ impl Simulation {
             let now = fabric.now;
             match ev.kind {
                 EvKind::Submit { node, tx } => {
+                    fabric.events_processed += 1;
                     nodes[node.idx()].submit_tx(tx, now, &mut FabricSink { from: node, fabric });
                 }
                 EvKind::Poll { node } => {
+                    fabric.events_processed += 1;
                     fabric.scheduled_polls.remove(&(ev.at, node.0));
                     nodes[node.idx()].poll(now, &mut FabricSink { from: node, fabric });
                 }
-                EvKind::Arrive { from, to, env } => {
-                    nodes[to.idx()].handle(from, env, now, &mut FabricSink { from: to, fabric });
+                EvKind::Arrive { from, to } => {
+                    // Deliver every in-flight envelope that has arrived by
+                    // now in one burst — a frame's messages share one
+                    // arrival instant and one heap event. Each delivered
+                    // envelope counts as a processed event (the unit of
+                    // protocol work is the message, not the heap pop).
+                    let link = &mut fabric.links[from.idx() * fabric.cfg.cluster.n + to.idx()];
+                    while let Some(&(at, _)) = link.inflight.front() {
+                        if at > now {
+                            break;
+                        }
+                        let (_, env) = link.inflight.pop_front().expect("checked front");
+                        burst.push(env);
+                    }
+                    let next_at = match link.inflight.front() {
+                        Some(&(next_at, _)) => Some(next_at),
+                        None => {
+                            link.arrive_scheduled = false;
+                            None
+                        }
+                    };
+                    if let Some(next_at) = next_at {
+                        // Flag stays true: exactly one arrival event
+                        // remains outstanding for this link.
+                        fabric.push_event(next_at, EvKind::Arrive { from, to });
+                    }
+                    fabric.events_processed += burst.len().max(1) as u64;
+                    nodes[to.idx()].handle_burst(
+                        from,
+                        burst,
+                        now,
+                        &mut FabricSink { from: to, fabric },
+                    );
                 }
-                EvKind::LinkReady { from, to } => fabric.pump_link(from, to),
+                EvKind::LinkReady { from, to } => {
+                    fabric.events_processed += 1;
+                    fabric.links[from.idx() * fabric.cfg.cluster.n + to.idx()].ready_scheduled =
+                        false;
+                    fabric.pump_link(from, to);
+                }
             }
         }
         SimReport {
             now_ms: fabric.now,
             quiesced,
+            events_processed: fabric.events_processed,
             delivered: fabric.delivered.clone(),
             stats: nodes.iter().map(|n| n.stats()).collect(),
             events: fabric.stat_events.clone(),
@@ -453,27 +598,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn event_order_is_time_then_fifo() {
+    fn event_order_is_time_then_node_then_fifo() {
         let mut heap: BinaryHeap<Ev> = BinaryHeap::new();
-        heap.push(Ev {
-            at: 10,
-            seq: 1,
-            kind: EvKind::Poll { node: NodeId(0) },
-        });
-        heap.push(Ev {
-            at: 5,
-            seq: 2,
-            kind: EvKind::Poll { node: NodeId(1) },
-        });
-        heap.push(Ev {
-            at: 5,
-            seq: 0,
-            kind: EvKind::Poll { node: NodeId(2) },
-        });
-        let order: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop())
-            .map(|e| (e.at, e.seq))
+        let ev = |at, node_key, seq| Ev {
+            at,
+            node_key,
+            seq,
+            kind: EvKind::Poll {
+                node: NodeId(node_key),
+            },
+        };
+        heap.push(ev(10, 0, 1));
+        heap.push(ev(5, 1, 2));
+        heap.push(ev(5, 1, 4));
+        heap.push(ev(5, 2, 0));
+        let order: Vec<(u64, u16, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.at, e.node_key, e.seq))
             .collect();
-        assert_eq!(order, vec![(5, 0), (5, 2), (10, 1)]);
+        // Same-time events group by destination node (they are concurrent,
+        // so this is just a deterministic tie-break), FIFO within a node.
+        assert_eq!(order, vec![(5, 1, 2), (5, 1, 4), (5, 2, 0), (10, 0, 1)]);
     }
 
     #[test]

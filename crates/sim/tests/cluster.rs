@@ -207,20 +207,21 @@ fn fluid_mode_runs_paper_scale_blocks() {
     assert_total_order(&report, &[0, 1, 2, 3], 4);
 }
 
-/// Executable anchor for the ROADMAP's known liveness edge (found while
-/// verifying PR 4): an uplink so slow (≲ 6 bytes/ms at default Nagle
-/// settings) that the straggler's dispersal misses its epoch's BA commit
-/// *every* epoch makes the link-rescue proposal pressure self-sustaining —
-/// each rescue epoch proposes a fresh empty block that also misses, so
-/// empty epochs continue forever and the cluster never quiesces, even
-/// though every real transaction delivers. `#[ignore]`d because it
-/// documents a known-open bug, not a regression; run it with
-/// `cargo test -p dl-sim -- --ignored link_rescue` when working the fix.
-/// A fix needs care: naive "straggler abstains from empty proposals"
-/// breaks the two-straggler case where the epoch needs every honest
-/// dispersal for the `N−f` quorum.
+/// Regression anchor for the link-rescue liveness edge (found while
+/// verifying PR 4, fixed in PR 6): an uplink so slow (≲ 6 bytes/ms at
+/// default Nagle settings) that the straggler's dispersal misses its
+/// epoch's BA commit *every* epoch used to make the link-rescue proposal
+/// pressure self-sustaining — each rescue epoch proposed a fresh empty
+/// block that also missed, so empty epochs continued forever and the
+/// cluster never quiesced, even though every real transaction delivered.
+/// The fix restricts rescue pressure to a node's *own non-empty*
+/// undelivered proposals: an empty block carries nothing worth forcing an
+/// extra epoch for, and a peer's non-empty stuck block is that proposer's
+/// pressure to apply. The two-straggler case that needs every honest
+/// dispersal for the `N−f` quorum is untouched — it rides on activity
+/// pressure (peers' traffic keeps epochs alive), not on rescue pressure
+/// (see `slow_uplink_does_not_block_the_cluster` above).
 #[test]
-#[ignore = "documents the known link-rescue liveness edge (see ROADMAP); a fix must not break the two-straggler quorum case"]
 fn link_rescue_liveness_edge_at_extreme_uplink_asymmetry() {
     let mut sim = Simulation::new(SimConfig::new(4, ProtocolVariant::Dl));
     // Slow enough that even an empty block's dispersal misses its epoch.
@@ -241,12 +242,12 @@ fn link_rescue_liveness_edge_at_extreme_uplink_asymmetry() {
             "node {i} lost transactions (that would be a NEW bug)"
         );
     }
-    // …but the cluster never quiesces: self-sustaining empty rescue
-    // epochs. When a fix lands this assertion flips and the test should
-    // be un-ignored with `assert!(report.quiesced)`.
+    // …and the cluster quiesces: rescue pressure dies out once nothing
+    // non-empty of the node's own is stuck, so no self-sustaining empty
+    // epochs.
     assert!(
-        !report.quiesced,
-        "the liveness edge no longer reproduces — if this is a fix, flip this test and close the ROADMAP item"
+        report.quiesced,
+        "liveness edge regressed: empty rescue epochs kept the cluster alive forever"
     );
 }
 
