@@ -105,6 +105,9 @@ pub struct Ba {
     /// Set once we have `2f+1` matching `Term`s; the automaton goes quiet.
     halted: bool,
     input_taken: bool,
+    /// Observer mode (restart recovery): track state and allow `Term`
+    /// amplification, but never send `BVal`/`Aux` — see [`Ba::observe_only`].
+    observer: bool,
 }
 
 impl Ba {
@@ -125,6 +128,7 @@ impl Ba {
             term_sent: false,
             halted: false,
             input_taken: false,
+            observer: false,
         }
     }
 
@@ -147,6 +151,35 @@ impl Ba {
     /// Current round (for diagnostics and the round-latency bench).
     pub fn round(&self) -> usize {
         self.round
+    }
+
+    /// Restore a decision recovered from a durable store or a peer-attested
+    /// catch-up outcome. The instance behaves as if it had decided `v`
+    /// normally except that it does **not** re-broadcast `Term`: a restarted
+    /// node cannot tell which of its pre-crash messages were delivered, and
+    /// peers that still need the outcome learn it through the catch-up sync
+    /// protocol instead. Requires an undecided instance; it may already have
+    /// taken input (e.g. the ACS zero-fill raced the catch-up reply) — the
+    /// cluster-attested outcome simply supersedes the run in progress.
+    pub fn restore_decided(&mut self, v: bool) {
+        debug_assert!(self.decided.is_none());
+        self.decided = Some(v);
+        self.est = Some(v);
+        self.term_sent = true;
+        self.input_taken = true;
+    }
+
+    /// Put the instance in observer mode: it tracks rounds and may decide
+    /// (from `f+1` `Term`s or round progress) but never broadcasts
+    /// `BVal`/`Aux`. `Term` broadcasts stay enabled — a decision always
+    /// derives from values at least one correct node committed to, so a
+    /// `Term` cannot equivocate with anything sent before a crash, while a
+    /// re-sent `Aux` could (the first-value-wins dedup at receivers makes a
+    /// pre-crash `Aux(0)` / post-crash `Aux(1)` pair split the vote count).
+    /// Restart recovery marks every BA instance below its pre-crash message
+    /// horizon as an observer.
+    pub fn observe_only(&mut self) {
+        self.observer = true;
     }
 
     /// Propose a value. Ignored if already input.
@@ -186,13 +219,16 @@ impl Ba {
     }
 
     fn send_bval(&mut self, r: usize, v: bool, out: &mut Vec<BaEffect>) {
+        let observer = self.observer;
         let rs = self.round_mut(r);
         if !rs.bval_sent[v as usize] {
             rs.bval_sent[v as usize] = true;
-            out.push(BaEffect::Broadcast(BaMsg::BVal {
-                round: r as u16,
-                value: v,
-            }));
+            if !observer {
+                out.push(BaEffect::Broadcast(BaMsg::BVal {
+                    round: r as u16,
+                    value: v,
+                }));
+            }
         }
     }
 
@@ -266,20 +302,30 @@ impl Ba {
         loop {
             let r = self.round;
             // Re-broadcast our estimate's BVal on round entry (idempotent).
+            // Once we sent `Term` our vote is redundant: every correct node
+            // either decides from `f+1` Terms or finishes the round on the
+            // `f+1` BVal echo and the retained Aux below, so suppressing the
+            // initiation saves O(N) messages per decided instance per round
+            // without stalling stragglers.
             if let Some(est) = self.est {
-                self.send_bval(r, est, out);
+                if !self.term_sent {
+                    self.send_bval(r, est, out);
+                }
             }
             let rs = &self.rounds[r];
             // Step 2: once bin_values is non-empty, send Aux with one of its
             // values (the first that qualified).
             if !rs.aux_sent && (rs.bin_values[0] || rs.bin_values[1]) {
                 let v = rs.bin_values[1];
+                let observer = self.observer;
                 let rs = self.round_mut(r);
                 rs.aux_sent = true;
-                out.push(BaEffect::Broadcast(BaMsg::Aux {
-                    round: r as u16,
-                    value: v,
-                }));
+                if !observer {
+                    out.push(BaEffect::Broadcast(BaMsg::Aux {
+                        round: r as u16,
+                        value: v,
+                    }));
+                }
             }
             // Step 3: wait for N−f Aux messages whose values are all in
             // bin_values.

@@ -14,9 +14,10 @@
 //! `Vec<NodeEffect>` implements [`EffectSink`], which is what tests and
 //! small tools use via the [`EngineExt`] convenience methods.
 
-use dl_wire::{Envelope, NodeId, Tx};
+use dl_wire::{Envelope, Epoch, NodeId, Tx};
 
 use crate::node::{DeliveredBlock, NodeEffect, NodeStats, StatEvent};
+use crate::records::StoreRecord;
 
 /// Where an engine writes its effects.
 ///
@@ -37,6 +38,24 @@ pub trait EffectSink {
 
     /// An observability event; ignoring it is always safe.
     fn stat(&mut self, _event: StatEvent) {}
+
+    /// Whether this driver persists [`StoreRecord`]s. Engines use this to
+    /// skip building records (some clone chunk payloads or whole blocks)
+    /// when nobody is listening.
+    fn persists(&self) -> bool {
+        false
+    }
+
+    /// A write-ahead record: append it to durable storage *before* flushing
+    /// the sends that follow it in this effect stream. Only called when
+    /// [`EffectSink::persists`] returns true. Ignoring it is safe for
+    /// drivers that do not offer crash recovery.
+    fn persist(&mut self, _record: StoreRecord) {}
+
+    /// The retrieval for `(epoch, index)` was cancelled by `to`: any
+    /// `ReturnChunk` for it still queued toward `to` is dead weight and may
+    /// be dropped. Advisory — a driver without per-peer queues ignores it.
+    fn purge_returns(&mut self, _to: NodeId, _epoch: Epoch, _index: NodeId) {}
 }
 
 /// The reified-effect sink: collects everything as [`NodeEffect`] values.
@@ -54,6 +73,15 @@ impl EffectSink for Vec<NodeEffect> {
     }
     fn stat(&mut self, event: StatEvent) {
         self.push(NodeEffect::Stat(event));
+    }
+    fn persists(&self) -> bool {
+        true
+    }
+    fn persist(&mut self, record: StoreRecord) {
+        self.push(NodeEffect::Persist(record));
+    }
+    fn purge_returns(&mut self, to: NodeId, epoch: Epoch, index: NodeId) {
+        self.push(NodeEffect::PurgeReturns { to, epoch, index });
     }
 }
 
@@ -99,6 +127,12 @@ pub trait Engine {
     fn stats(&self) -> Option<NodeStats> {
         None
     }
+
+    /// Rebuild pre-crash state from a replayed write-ahead log, before any
+    /// other entry point is called. Engines without persistent state ignore
+    /// it. Must be silent: no sends, no deliveries — the driver already
+    /// knows everything in `records`.
+    fn restore(&mut self, _records: &[StoreRecord]) {}
 }
 
 /// Convenience wrappers that collect effects into a `Vec<NodeEffect>`.

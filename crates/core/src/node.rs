@@ -53,12 +53,13 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use dl_ba::{Ba, BaEffect};
 use dl_crypto::Hash;
 use dl_vid::{Coder, Disperser, Retrieved, Retriever, VidEffect, VidServer};
-use dl_wire::{BaMsg, Block, BlockHeader, Envelope, Epoch, NodeId, ProtoMsg, Tx, VidMsg};
+use dl_wire::{BaMsg, Block, BlockHeader, Envelope, Epoch, NodeId, ProtoMsg, SyncMsg, Tx, VidMsg};
 
 use crate::coder::BlockCoder;
 use crate::engine::{EffectSink, Engine};
 use crate::linking::{compute_linking_estimate_borrowed, CompletionTracker};
 use crate::queue::InputQueue;
+use crate::records::StoreRecord;
 use crate::variant::{NodeConfig, ProposeGate};
 
 /// The reified effect vocabulary of the node automaton.
@@ -83,6 +84,17 @@ pub enum NodeEffect {
     /// An observability event (proposals, epoch completions). Drivers may
     /// log or aggregate these; ignoring them is always safe.
     Stat(StatEvent),
+    /// A write-ahead record: a persistent driver appends it to its log
+    /// before flushing the sends that follow it. Only emitted when the sink
+    /// reports [`EffectSink::persists`].
+    Persist(StoreRecord),
+    /// Peer `to` cancelled the retrieval of `(epoch, index)`: queued
+    /// `ReturnChunk`s toward it may be dropped. Advisory.
+    PurgeReturns {
+        to: NodeId,
+        epoch: Epoch,
+        index: NodeId,
+    },
 }
 
 /// Observability events surfaced through [`NodeEffect::Stat`].
@@ -160,6 +172,11 @@ enum Work {
         epoch: u64,
         index: usize,
         value: bool,
+    },
+    Sync {
+        from: NodeId,
+        epoch: u64,
+        msg: SyncMsg,
     },
 }
 
@@ -267,6 +284,23 @@ pub struct Node<C: BlockCoder> {
     /// Epochs below this have had their delivered slots garbage-collected
     /// (see [`Node::gc_epochs`]).
     gc_horizon: u64,
+    /// Restart catch-up (see [`Node::restore`]): while true, the node
+    /// periodically asks peers for the outcomes of epochs it missed.
+    sync_active: bool,
+    /// Per-epoch peer-attested outcome vectors collected during catch-up.
+    sync_tally: BTreeMap<u64, Vec<(NodeId, Vec<bool>)>>,
+    /// When the last catch-up request round was broadcast (0 = never).
+    sync_last_request_ms: u64,
+    /// Consecutive request rounds that adopted nothing; two in a row means
+    /// we have reached the cluster's live edge and catch-up ends.
+    sync_rounds_idle: u32,
+    /// Whether anything was adopted since the last request round.
+    sync_progress: bool,
+    /// BA instances in epochs below this line run in observer mode: a
+    /// pre-crash message of ours could have touched them, so re-initiating
+    /// `BVal`/`Aux` there risks equivocating against votes we no longer
+    /// remember sending. Derived in [`Node::restore`].
+    ba_observe_below: u64,
     stats: NodeStats,
 }
 
@@ -295,6 +329,12 @@ impl<C: BlockCoder> Node<C> {
             agreement_frontier: 0,
             delivered_frontier: 0,
             gc_horizon: 0,
+            sync_active: false,
+            sync_tally: BTreeMap::new(),
+            sync_last_request_ms: 0,
+            sync_rounds_idle: 0,
+            sync_progress: false,
+            ba_observe_below: 0,
             stats: NodeStats::default(),
         }
     }
@@ -388,6 +428,20 @@ impl<C: BlockCoder> Node<C> {
         if env.index.idx() >= n || from.idx() >= n {
             return;
         }
+        // Catch-up sync messages are routed before the epoch-state checks:
+        // a Request names an epoch *range* starting at the requester's
+        // frontier (possibly one we collected long ago), and neither kind
+        // should instantiate epoch state or count as proposal pressure.
+        if let ProtoMsg::Sync(msg) = env.payload {
+            if from != self.me {
+                work.push_back(Work::Sync {
+                    from,
+                    epoch: e,
+                    msg,
+                });
+            }
+            return;
+        }
         // §4.2 footnote 3: chunks of `VID^e_i` are only accepted from node
         // `i` itself — anyone else pushing chunks is Byzantine.
         if matches!(env.payload, ProtoMsg::Vid(VidMsg::Chunk { .. })) && from != env.index {
@@ -411,6 +465,7 @@ impl<C: BlockCoder> Node<C> {
                 from,
                 msg,
             },
+            ProtoMsg::Sync(_) => unreachable!("sync handled above"),
         });
     }
 
@@ -452,6 +507,8 @@ impl<C: BlockCoder> Node<C> {
                 msg,
             } => {
                 self.ensure_epoch(epoch);
+                let me = self.me;
+                let persists = out.persists();
                 // Split borrows: the epoch state and the coder live in
                 // disjoint fields.
                 let Node { coder, epochs, .. } = self;
@@ -462,8 +519,32 @@ impl<C: BlockCoder> Node<C> {
                         None => Vec::new(), // no retrieval running: ignore
                     }
                 } else {
+                    // §5 early cancellation, extended to the send path: the
+                    // canceller no longer wants chunks, so anything still
+                    // queued toward it is dead weight.
+                    if matches!(msg, VidMsg::Cancel) && from != me {
+                        out.purge_returns(from, Epoch(epoch), NodeId(index as u16));
+                    }
                     match st.servers[index].as_mut() {
-                        Some(server) => server.handle(coder, from, msg),
+                        Some(server) => {
+                            let had_chunk = server.stored_chunk().is_some();
+                            let effects = server.handle(coder, from, msg);
+                            // WAL: chunk custody becomes durable before the
+                            // `GotChunk` acknowledgement (queued in
+                            // `effects`) reaches the wire.
+                            if persists && !had_chunk {
+                                if let Some((root, payload, proof)) = server.stored_chunk() {
+                                    out.persist(StoreRecord::Chunk {
+                                        epoch: Epoch(epoch),
+                                        index: NodeId(index as u16),
+                                        root: *root,
+                                        proof: proof.clone(),
+                                        payload: payload.clone(),
+                                    });
+                                }
+                            }
+                            effects
+                        }
                         None => Vec::new(), // slot garbage-collected
                     }
                 };
@@ -496,6 +577,7 @@ impl<C: BlockCoder> Node<C> {
                 let effects = st.bas[index].input(value);
                 self.apply_ba_effects(epoch, index, effects, work, out);
             }
+            Work::Sync { from, epoch, msg } => self.on_sync(from, epoch, msg, work, out),
         }
     }
 
@@ -544,7 +626,7 @@ impl<C: BlockCoder> Node<C> {
                         }
                     }
                 }
-                VidEffect::Complete(_root) => self.on_complete(epoch, index, work, out),
+                VidEffect::Complete(root) => self.on_complete(epoch, index, root, work, out),
                 VidEffect::Retrieved(r) => self.on_retrieved(epoch, index, r, work),
             }
         }
@@ -595,9 +677,19 @@ impl<C: BlockCoder> Node<C> {
         &mut self,
         epoch: u64,
         index: usize,
+        root: Hash,
         work: &mut VecDeque<Work>,
         out: &mut dyn EffectSink,
     ) {
+        // WAL: the completion (and the root we will serve retrievals
+        // under) is durable before the availability vote it justifies.
+        if out.persists() {
+            out.persist(StoreRecord::Completed {
+                epoch: Epoch(epoch),
+                index: NodeId(index as u16),
+                root,
+            });
+        }
         self.trackers[index].complete(Epoch(epoch));
         // Only linking variants can rescue a completed-but-uncommitted
         // block, so only they need to remember it (a non-linking variant
@@ -685,6 +777,15 @@ impl<C: BlockCoder> Node<C> {
             if value {
                 st.decided_ones += 1;
             }
+            // WAL: the decision is durable before the `Term` broadcast
+            // that follows it in this effect stream.
+            if out.persists() {
+                out.persist(StoreRecord::Decided {
+                    epoch: Epoch(epoch),
+                    index: NodeId(index as u16),
+                    value,
+                });
+            }
         }
         self.pipeline_dirty = true;
         if value {
@@ -764,6 +865,7 @@ impl<C: BlockCoder> Node<C> {
             }
         }
         self.maybe_propose(now, work, out);
+        self.maybe_sync_request(now, out);
         // If a proposal is pending but not yet due, tell the driver when to
         // poll us again.
         if self.proposed_up_to < self.next_propose_epoch {
@@ -865,6 +967,15 @@ impl<C: BlockCoder> Node<C> {
         self.stats.blocks_proposed += 1;
         if block.body.is_empty() {
             self.stats.empty_blocks_proposed += 1;
+        }
+        // WAL: the fact that we proposed for this epoch is durable before
+        // the dispersal goes out — a restarted node must never propose a
+        // *different* block for the same epoch (self-equivocation).
+        if out.persists() {
+            out.persist(StoreRecord::Proposed {
+                epoch: Epoch(epoch),
+                nonempty: !block.body.is_empty(),
+            });
         }
         out.stat(StatEvent::Proposed {
             epoch: Epoch(epoch),
@@ -1004,6 +1115,17 @@ impl<C: BlockCoder> Node<C> {
                 Some(b) => self.stats.txs_delivered += b.tx_count() as u64,
                 None => self.stats.malformed_blocks_delivered += 1,
             }
+            // WAL: the delivery is durable before the block reaches the
+            // application — replaying the log reproduces the exact
+            // delivered prefix.
+            if out.persists() {
+                out.persist(StoreRecord::Delivered {
+                    epoch: Epoch(t),
+                    proposer: NodeId(j),
+                    via_link,
+                    block: block.clone(),
+                });
+            }
             out.deliver(DeliveredBlock {
                 epoch: Epoch(t),
                 proposer: NodeId(j),
@@ -1021,6 +1143,12 @@ impl<C: BlockCoder> Node<C> {
                 self.stats.txs_requeued += txs.len() as u64;
                 self.queue.push_front_batch(txs);
             }
+        }
+        // The epoch boundary: the record the default fsync policy syncs on.
+        if out.persists() {
+            out.persist(StoreRecord::EpochDelivered {
+                epoch: Epoch(epoch),
+            });
         }
         out.stat(StatEvent::EpochDelivered {
             epoch: Epoch(epoch),
@@ -1102,8 +1230,273 @@ impl<C: BlockCoder> Node<C> {
                 &(j as u64).to_le_bytes(),
             ])
         });
-        self.epochs
-            .insert(epoch, EpochState::new(self.me, n, f, salts));
+        let mut st = EpochState::new(self.me, n, f, salts);
+        // Restart recovery: a pre-crash message of ours could have touched
+        // any epoch below the observe line, including ones whose state is
+        // created lazily after the restart.
+        if epoch < self.ba_observe_below {
+            for ba in &mut st.bas {
+                ba.observe_only();
+            }
+        }
+        self.epochs.insert(epoch, st);
+    }
+
+    // ---- restart recovery ----
+
+    /// Rebuild pre-crash state from a replayed write-ahead log. Must run
+    /// before any other entry point; it is silent (no sends, no
+    /// deliveries — the caller already knows everything in `records`).
+    ///
+    /// Replay rebuilds exactly what was durably narrated: chunk custody and
+    /// completion roots back into the VID servers, BA decisions (as
+    /// already-terminated instances that re-amplify `Term` but never
+    /// re-vote), our proposal high-water mark, and the delivered prefix.
+    /// Everything *derived* — frontiers, the ACS latch, observer mode for
+    /// possibly-voted BAs — is recomputed, and catch-up sync is armed so
+    /// the first polls broadcast [`SyncMsg::Request`] for the epochs the
+    /// cluster decided while we were down. Committed-but-unretrieved blocks
+    /// are re-fetched through the ordinary retrieval path.
+    pub fn restore(&mut self, records: &[StoreRecord]) {
+        if records.is_empty() {
+            return;
+        }
+        let n = self.cfg.cluster.n;
+        let f = self.cfg.cluster.f;
+        for rec in records {
+            match rec {
+                StoreRecord::Chunk {
+                    epoch,
+                    index,
+                    root,
+                    proof,
+                    payload,
+                } => {
+                    let e = epoch.0;
+                    self.ensure_epoch(e);
+                    let st = self.epochs.get_mut(&e).expect("just ensured");
+                    if let Some(server) = st.servers[index.idx()].as_mut() {
+                        server.restore(Some((*root, payload.clone(), proof.clone())), None);
+                    }
+                }
+                StoreRecord::Completed { epoch, index, root } => {
+                    let e = epoch.0;
+                    let j = index.idx();
+                    self.ensure_epoch(e);
+                    let st = self.epochs.get_mut(&e).expect("just ensured");
+                    st.completed[j] = true;
+                    if let Some(server) = st.servers[j].as_mut() {
+                        server.restore(None, Some(*root));
+                    }
+                    self.trackers[j].complete(*epoch);
+                    if self.cfg.flags.linking && !self.delivered[j].contains(*epoch) {
+                        self.undelivered_completions.insert((e, index.0));
+                    }
+                }
+                StoreRecord::Proposed { epoch, nonempty } => {
+                    self.proposed_up_to = self.proposed_up_to.max(epoch.0);
+                    if self.cfg.flags.linking && *nonempty {
+                        self.my_nonempty_proposals.insert(epoch.0);
+                    }
+                }
+                StoreRecord::Decided {
+                    epoch,
+                    index,
+                    value,
+                } => {
+                    let e = epoch.0;
+                    let j = index.idx();
+                    self.ensure_epoch(e);
+                    let st = self.epochs.get_mut(&e).expect("just ensured");
+                    if st.decided[j].is_none() {
+                        st.decided[j] = Some(*value);
+                        st.decided_count += 1;
+                        if *value {
+                            st.decided_ones += 1;
+                        }
+                        st.bas[j].restore_decided(*value);
+                    }
+                }
+                StoreRecord::Delivered {
+                    epoch, proposer, ..
+                } => {
+                    let j = proposer.idx();
+                    self.delivered[j].complete(*epoch);
+                    self.undelivered_completions.remove(&(epoch.0, proposer.0));
+                    if *proposer == self.me {
+                        self.my_nonempty_proposals.remove(&epoch.0);
+                    }
+                }
+                StoreRecord::EpochDelivered { epoch } => {
+                    self.delivered_frontier = self.delivered_frontier.max(epoch.0);
+                }
+            }
+        }
+        // Recompute the derived cursors the records imply.
+        while let Some(next) = self.epochs.get(&(self.agreement_frontier + 1)) {
+            if next.all_decided() {
+                self.agreement_frontier += 1;
+            } else {
+                break;
+            }
+        }
+        for st in self.epochs.values_mut() {
+            // Epochs whose ACS quorum was reached pre-crash must not
+            // re-issue the zero-fill: the undecided remainder are observers
+            // (we may have voted before the crash) and a fresh input would
+            // collide with a catch-up `restore_decided`.
+            st.acs_zeroed = st.decided_ones >= n - f;
+        }
+        self.ba_observe_below = self.agreement_frontier + self.cfg.epoch_lookahead + 1;
+        for (_, st) in self.epochs.range_mut(..self.ba_observe_below) {
+            for ba in &mut st.bas {
+                ba.observe_only();
+            }
+        }
+        // Re-kick the pipeline: committed blocks that were never retrieved
+        // (or an epoch cut down mid-delivery) resume on the first run.
+        self.pipeline_dirty = true;
+        self.sync_active = true;
+        self.gc_epochs();
+    }
+
+    /// Whether restart catch-up is still querying peers for missed epochs.
+    pub fn sync_active(&self) -> bool {
+        self.sync_active
+    }
+
+    /// How many consecutive request rounds may adopt nothing before
+    /// catch-up concludes it has reached the cluster's live edge. Sized for
+    /// real transports: after a restart, peers' writers may need a full
+    /// reconnect backoff before their replies can flow again, so a couple
+    /// of silent rounds right after boot are expected, not conclusive.
+    const SYNC_IDLE_ROUNDS_MAX: u32 = 10;
+
+    /// Periodic catch-up request round (paced by the propose delay). Ends
+    /// after [`Self::SYNC_IDLE_ROUNDS_MAX`] consecutive rounds that adopted
+    /// nothing: at that point we are at the cluster's live edge and the
+    /// ordinary protocol takes over.
+    fn maybe_sync_request(&mut self, now: u64, out: &mut dyn EffectSink) {
+        if !self.sync_active {
+            return;
+        }
+        let due = self.sync_last_request_ms == 0
+            || now >= self.sync_last_request_ms + self.cfg.propose_delay_ms;
+        if !due {
+            out.wake_at(self.sync_last_request_ms + self.cfg.propose_delay_ms);
+            return;
+        }
+        if self.sync_progress {
+            self.sync_rounds_idle = 0;
+        } else if self.sync_last_request_ms != 0 {
+            self.sync_rounds_idle += 1;
+            if self.sync_rounds_idle >= Self::SYNC_IDLE_ROUNDS_MAX {
+                self.sync_active = false;
+                self.sync_tally.clear();
+                return;
+            }
+        }
+        self.sync_progress = false;
+        self.sync_last_request_ms = now.max(1);
+        let from_epoch = self.agreement_frontier + 1;
+        for to in 0..self.cfg.cluster.n as u16 {
+            let to = NodeId(to);
+            if to != self.me {
+                self.push_send(to, Envelope::sync(Epoch(from_epoch), SyncMsg::Request), out);
+            }
+        }
+        out.wake_at(now + self.cfg.propose_delay_ms);
+    }
+
+    /// A catch-up sync message arrived.
+    fn on_sync(
+        &mut self,
+        from: NodeId,
+        epoch: u64,
+        msg: SyncMsg,
+        work: &mut VecDeque<Work>,
+        out: &mut dyn EffectSink,
+    ) {
+        match msg {
+            SyncMsg::Request => {
+                // Answer with the outcome of every fully-decided epoch we
+                // retain, from the requested epoch up to our agreement
+                // frontier, one window at a time.
+                if epoch > self.agreement_frontier {
+                    return;
+                }
+                let mut outcomes: Vec<(u64, Vec<bool>)> = Vec::new();
+                for (&e, st) in self.epochs.range(epoch..=self.agreement_frontier) {
+                    if outcomes.len() as u64 >= self.cfg.epoch_lookahead {
+                        break;
+                    }
+                    if !st.all_decided() {
+                        continue;
+                    }
+                    let committed: Vec<bool> =
+                        st.decided.iter().map(|d| *d == Some(true)).collect();
+                    outcomes.push((e, committed));
+                }
+                for (e, committed) in outcomes {
+                    self.push_send(
+                        from,
+                        Envelope::sync(Epoch(e), SyncMsg::Outcome { committed }),
+                        out,
+                    );
+                }
+            }
+            SyncMsg::Outcome { committed } => {
+                if !self.sync_active
+                    || committed.len() != self.cfg.cluster.n
+                    || epoch <= self.agreement_frontier
+                {
+                    return;
+                }
+                let tally = self.sync_tally.entry(epoch).or_default();
+                if tally.iter().any(|(s, _)| *s == from) {
+                    return; // one attestation per peer
+                }
+                tally.push((from, committed));
+                // `f+1` identical vectors contain at least one from a
+                // correct node that saw its whole epoch decide — adopt.
+                let f = self.cfg.cluster.f;
+                let attested: Option<Vec<bool>> = tally
+                    .iter()
+                    .map(|(_, v)| v)
+                    .find(|v| tally.iter().filter(|(_, w)| w == *v).count() >= f + 1)
+                    .cloned();
+                if let Some(v) = attested {
+                    self.adopt_outcome(epoch, &v, work, out);
+                }
+            }
+        }
+    }
+
+    /// Adopt a peer-attested epoch outcome: terminate every still-undecided
+    /// BA with the cluster's decision and run the ordinary post-decision
+    /// bookkeeping (durable `Decided` records, retrieval kick-off, frontier
+    /// advancement).
+    fn adopt_outcome(
+        &mut self,
+        epoch: u64,
+        committed: &[bool],
+        work: &mut VecDeque<Work>,
+        out: &mut dyn EffectSink,
+    ) {
+        self.ensure_epoch(epoch);
+        let n = self.cfg.cluster.n;
+        for (j, &value) in committed.iter().enumerate().take(n) {
+            let st = self.epochs.get_mut(&epoch).expect("just ensured");
+            if st.decided[j].is_some() || st.bas.is_empty() {
+                continue;
+            }
+            st.bas[j].restore_decided(value);
+            self.on_decide(epoch, j, value, work, out);
+        }
+        // Tallies at or below the new frontier are settled.
+        let frontier = self.agreement_frontier;
+        self.sync_tally.retain(|&e, _| e > frontier);
+        self.sync_progress = true;
     }
 }
 
@@ -1137,6 +1530,10 @@ impl<C: BlockCoder> Engine for Node<C> {
     fn stats(&self) -> Option<NodeStats> {
         Some(self.stats)
     }
+
+    fn restore(&mut self, records: &[StoreRecord]) {
+        Node::restore(self, records)
+    }
 }
 
 #[cfg(test)]
@@ -1153,6 +1550,8 @@ mod tests {
         nodes: Vec<Node<RealBlockCoder>>,
         wire: VecDeque<(NodeId, NodeId, Envelope)>,
         delivered: Vec<Vec<DeliveredBlock>>,
+        /// Per-node write-ahead log, as a persistent driver would keep it.
+        records: Vec<Vec<StoreRecord>>,
         now: u64,
     }
 
@@ -1172,6 +1571,7 @@ mod tests {
                     .collect(),
                 wire: VecDeque::new(),
                 delivered: vec![Vec::new(); n],
+                records: vec![Vec::new(); n],
                 now: 0,
             }
         }
@@ -1183,7 +1583,10 @@ mod tests {
                         self.wire.push_back((NodeId(from as u16), to, env));
                     }
                     NodeEffect::Deliver(d) => self.delivered[from].push(d),
-                    NodeEffect::WakeAt(_) | NodeEffect::Stat(_) => {}
+                    NodeEffect::Persist(rec) => self.records[from].push(rec),
+                    NodeEffect::WakeAt(_)
+                    | NodeEffect::Stat(_)
+                    | NodeEffect::PurgeReturns { .. } => {}
                 }
             }
         }
@@ -1543,5 +1946,95 @@ mod tests {
         assert!(s.epochs_delivered >= 1);
         assert!(s.msgs_sent > 0 && s.bytes_sent > 0);
         assert_eq!(mesh.nodes[0].delivered_frontier(), Epoch(1));
+    }
+
+    #[test]
+    fn restarted_node_replays_its_log_and_catches_up() {
+        for variant in [ProtocolVariant::Dl, ProtocolVariant::HoneyBadger] {
+            let cluster = ClusterConfig::new(4);
+            let cfg = NodeConfig::new(cluster.clone(), variant);
+            let mut mesh = Mesh::with_cfg(4, cfg.clone());
+            // Phase A: normal operation, at least one epoch delivered by
+            // everyone (all four write-ahead logs fill up).
+            mesh.submit(0, Tx::synthetic(NodeId(0), 0, 0, 100));
+            mesh.run(60, 10, &[]);
+            assert!(mesh.nodes[3].delivered_frontier().0 >= 1);
+            let frontier_at_crash = mesh.nodes[3].delivered_frontier();
+            let delivered_at_crash = mesh.delivered[3].len();
+            // Phase B: node 3 crashes (muted: drops all input, emits
+            // nothing). The other three keep committing epochs without it.
+            mesh.submit(1, Tx::synthetic(NodeId(1), 1, mesh.now, 100));
+            mesh.run(60, 10, &[3]);
+            mesh.submit(2, Tx::synthetic(NodeId(2), 2, mesh.now, 100));
+            mesh.run(60, 10, &[3]);
+            assert!(
+                mesh.nodes[0].delivered_frontier() > frontier_at_crash,
+                "survivors made no progress during the outage"
+            );
+            // Phase C: restart from the write-ahead log. The replacement
+            // node knows nothing except what node 3 persisted.
+            let mut fresh = Node::new(NodeId(3), cfg.clone(), RealBlockCoder::new(&cluster));
+            fresh.restore(&mesh.records[3]);
+            assert_eq!(fresh.delivered_frontier(), frontier_at_crash);
+            assert!(fresh.sync_active());
+            mesh.nodes[3] = fresh;
+            mesh.run(200, 10, &[]);
+            // The restarted node caught up: same frontier, same total
+            // order, and no block it delivered before the crash was
+            // re-delivered after it.
+            assert_eq!(
+                mesh.nodes[3].delivered_frontier(),
+                mesh.nodes[0].delivered_frontier(),
+                "{variant:?}: restarted node did not catch up"
+            );
+            assert!(
+                !mesh.nodes[3].sync_active(),
+                "{variant:?}: catch-up sync never terminated"
+            );
+            let orders = mesh.tx_orders();
+            assert_eq!(orders[3], orders[0], "{variant:?}: total order diverged");
+            assert_eq!(orders[3].len(), 3, "{variant:?}: a transaction was lost");
+            let epochs_seen: Vec<(Epoch, NodeId)> = mesh.delivered[3]
+                .iter()
+                .map(|d| (d.epoch, d.proposer))
+                .collect();
+            let mut deduped = epochs_seen.clone();
+            deduped.dedup();
+            assert_eq!(
+                epochs_seen, deduped,
+                "{variant:?}: a block was re-delivered"
+            );
+            assert!(mesh.delivered[3].len() > delivered_at_crash);
+        }
+    }
+
+    #[test]
+    fn restore_of_an_empty_log_is_a_fresh_start() {
+        let cluster = ClusterConfig::new(4);
+        let cfg = NodeConfig::new(cluster.clone(), ProtocolVariant::Dl);
+        let mut node = Node::new(NodeId(0), cfg, RealBlockCoder::new(&cluster));
+        node.restore(&[]);
+        assert!(!node.sync_active());
+        assert_eq!(node.delivered_frontier(), Epoch(0));
+    }
+
+    #[test]
+    fn cancel_emits_a_purge_hint_for_the_canceller() {
+        let mut mesh = Mesh::new(4, ProtocolVariant::Dl);
+        mesh.submit(0, Tx::synthetic(NodeId(0), 0, 0, 100));
+        mesh.run(60, 10, &[]);
+        let now = mesh.now;
+        // Peer 2 cancels the retrieval of block (epoch 1, proposer 0):
+        // node 1 must tell its driver to drop queued ReturnChunks to 2.
+        let effs = mesh.nodes[1].handle_vec(
+            NodeId(2),
+            Envelope::vid(Epoch(1), NodeId(0), VidMsg::Cancel),
+            now,
+        );
+        assert!(effs.contains(&NodeEffect::PurgeReturns {
+            to: NodeId(2),
+            epoch: Epoch(1),
+            index: NodeId(0),
+        }));
     }
 }

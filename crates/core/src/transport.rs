@@ -11,7 +11,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use dl_wire::{Envelope, NodeId, TrafficClass};
+use dl_wire::{Envelope, Epoch, NodeId, ProtoMsg, TrafficClass, VidMsg};
 
 /// A cluster's message fabric, as seen by a driver routing engine `send`
 /// effects. Implemented by the simulator (envelopes enter a virtual link)
@@ -90,6 +90,33 @@ impl SendQueue {
     pub fn queued_bytes(&self) -> usize {
         self.bytes
     }
+
+    /// Drop every queued `ReturnChunk` for `(epoch, index)` — the receiver
+    /// cancelled this retrieval, so the chunks are dead weight (§5's early
+    /// cancellation, extended to the send queue). Returns
+    /// `(envelopes, bytes)` purged.
+    pub fn purge_returns(&mut self, epoch: Epoch, index: NodeId) -> (usize, usize) {
+        let Some(bucket) = self.retrieval.get_mut(&epoch.0) else {
+            return (0, 0);
+        };
+        let mut count = 0usize;
+        let mut bytes = 0usize;
+        bucket.retain(|env| {
+            let dead = env.index == index
+                && matches!(env.payload, ProtoMsg::Vid(VidMsg::ReturnChunk { .. }));
+            if dead {
+                count += 1;
+                bytes += env.wire_size();
+            }
+            !dead
+        });
+        if bucket.is_empty() {
+            self.retrieval.remove(&epoch.0);
+        }
+        self.len -= count;
+        self.bytes -= bytes;
+        (count, bytes)
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +172,53 @@ mod tests {
         assert_eq!(q.pop(), Some(a));
         assert_eq!(q.pop(), Some(b));
         assert_eq!(q.pop(), None);
+    }
+
+    fn return_chunk(e: u64, index: u16) -> Envelope {
+        Envelope::vid(
+            Epoch(e),
+            NodeId(index),
+            VidMsg::ReturnChunk {
+                root: Hash::digest(b"r"),
+                proof: dl_crypto::MerkleProof {
+                    index: 0,
+                    leaf_count: 1,
+                    path: Vec::new(),
+                },
+                payload: dl_wire::ChunkPayload::Synthetic { len: 1000 },
+            },
+        )
+    }
+
+    #[test]
+    fn purge_returns_drops_only_the_cancelled_retrieval() {
+        let mut q = SendQueue::new();
+        q.push(return_chunk(3, 1));
+        q.push(return_chunk(3, 2)); // same epoch, different proposer: kept
+        q.push(retrieval(3)); // a RequestChunk is not a ReturnChunk: kept
+        q.push(return_chunk(4, 1)); // different epoch: kept
+        q.push(dispersal(5));
+        let before = q.queued_bytes();
+        let victim_bytes = return_chunk(3, 1).wire_size();
+        let (count, bytes) = q.purge_returns(Epoch(3), NodeId(1));
+        assert_eq!((count, bytes), (1, victim_bytes));
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.queued_bytes(), before - victim_bytes);
+        // Untouched epoch with no matching bucket: a no-op.
+        assert_eq!(q.purge_returns(Epoch(9), NodeId(1)), (0, 0));
+        // Drain order still honors the class priorities.
+        let classes: Vec<TrafficClass> = std::iter::from_fn(|| q.pop())
+            .map(|env| env.class())
+            .collect();
+        assert_eq!(
+            classes,
+            vec![
+                TrafficClass::Dispersal,
+                TrafficClass::Retrieval(Epoch(3)),
+                TrafficClass::Retrieval(Epoch(3)),
+                TrafficClass::Retrieval(Epoch(4)),
+            ]
+        );
     }
 
     #[test]

@@ -9,15 +9,26 @@
 //! ```sh
 //! dl-node --smoke                         # CI: 4 nodes, all 4 variants
 //! dl-node --variant dl --nodes 7 --txs 32 # one bigger run
+//! dl-node --restart-smoke                 # CI: kill + restart a member,
+//!                                         # assert WAL replay + catch-up
 //! ```
+//!
+//! With `--data-dir DIR` every node keeps a write-ahead log under
+//! `DIR/node<i>/`, fsynced per `--fsync always|epoch|never` (default
+//! `epoch`). `--restart-smoke` runs the restart-recovery scenario: a
+//! store-backed member is killed mid-run, the survivors keep committing,
+//! and the member restarted from its `--data-dir` must end with the
+//! identical delivered prefix.
 //!
 //! Exits non-zero if any run misses quiescence inside `--timeout-ms` or
 //! any total-order check fails.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use dl_core::ProtocolVariant;
-use dl_net::run_cluster_to_quiescence;
+use dl_net::{run_cluster_to_quiescence, run_restart_recovery};
+use dl_store::FsyncPolicy;
 
 struct Opts {
     nodes: usize,
@@ -25,6 +36,9 @@ struct Opts {
     txs: u64,
     tx_bytes: u32,
     timeout_ms: u64,
+    data_dir: Option<PathBuf>,
+    fsync: FsyncPolicy,
+    restart_smoke: bool,
 }
 
 fn parse_variant(name: &str) -> Option<ProtocolVariant> {
@@ -39,8 +53,9 @@ fn parse_variant(name: &str) -> Option<ProtocolVariant> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dl-node [--smoke] [--nodes N] [--variant dl|dl-coupled|hb|hb-link|all] \
-         [--txs T] [--tx-bytes B] [--timeout-ms MS]"
+        "usage: dl-node [--smoke | --restart-smoke] [--nodes N] \
+         [--variant dl|dl-coupled|hb|hb-link|all] [--txs T] [--tx-bytes B] \
+         [--timeout-ms MS] [--data-dir DIR] [--fsync always|epoch|never]"
     );
     std::process::exit(2);
 }
@@ -52,6 +67,9 @@ fn main() {
         txs: 8,
         tx_bytes: 300,
         timeout_ms: 120_000,
+        data_dir: None,
+        fsync: FsyncPolicy::default(),
+        restart_smoke: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -65,6 +83,7 @@ fn main() {
             // --smoke is the CI profile; currently identical to the
             // defaults, kept as a named knob so the workflow reads clearly.
             "--smoke" => {}
+            "--restart-smoke" => opts.restart_smoke = true,
             "--nodes" => opts.nodes = value("--nodes").parse().unwrap_or_else(|_| usage()),
             "--variant" => {
                 let v = value("--variant");
@@ -77,12 +96,46 @@ fn main() {
             "--timeout-ms" => {
                 opts.timeout_ms = value("--timeout-ms").parse().unwrap_or_else(|_| usage())
             }
+            "--data-dir" => opts.data_dir = Some(PathBuf::from(value("--data-dir"))),
+            "--fsync" => {
+                opts.fsync = value("--fsync").parse().unwrap_or_else(|e| {
+                    eprintln!("dl-node: {e}");
+                    usage()
+                })
+            }
             _ => usage(),
         }
     }
     if opts.nodes < 4 {
         eprintln!("dl-node: need at least 4 nodes (N >= 3f + 1 with f >= 1)");
         std::process::exit(2);
+    }
+
+    if opts.restart_smoke {
+        // Kill-and-restart scenario: WAL replay + retrieval catch-up must
+        // reconverge on the survivors' delivered prefix.
+        let data_root = opts.data_dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("dl-node-restart-{}", std::process::id()))
+        });
+        let scratch = opts.data_dir.is_none();
+        let timeout = Duration::from_millis(opts.timeout_ms);
+        let result = run_restart_recovery(&data_root, opts.fsync, timeout);
+        if scratch {
+            let _ = std::fs::remove_dir_all(&data_root);
+        }
+        match result {
+            Ok(elapsed) => {
+                eprintln!(
+                    "dl-node: restart-recovery  4 nodes  kill+restart OK  {:.2}s",
+                    elapsed.as_secs_f64()
+                );
+                return;
+            }
+            Err(msg) => {
+                eprintln!("dl-node: FAIL restart-recovery: {msg}");
+                std::process::exit(1);
+            }
+        }
     }
 
     let variants: Vec<ProtocolVariant> = match opts.variant {
@@ -98,7 +151,21 @@ fn main() {
     let timeout = Duration::from_millis(opts.timeout_ms);
     let mut failed = false;
     for variant in variants {
-        match run_cluster_to_quiescence(opts.nodes, variant, opts.txs, opts.tx_bytes, timeout) {
+        let result = match &opts.data_dir {
+            Some(root) => dl_net::run_cluster_to_quiescence_stored(
+                opts.nodes,
+                variant,
+                opts.txs,
+                opts.tx_bytes,
+                timeout,
+                &root.join(variant.label()),
+                opts.fsync,
+            ),
+            None => {
+                run_cluster_to_quiescence(opts.nodes, variant, opts.txs, opts.tx_bytes, timeout)
+            }
+        };
+        match result {
             Ok(elapsed) => eprintln!(
                 "dl-node: {:<12} {} nodes  {} txs  total order OK  {:.2}s",
                 variant.label(),

@@ -60,6 +60,7 @@
 
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -68,10 +69,11 @@ use std::time::{Duration, Instant};
 
 use dl_core::{
     DeliveredBlock, EffectSink, Engine, Node, NodeConfig, NodeStats, ProtocolVariant,
-    RealBlockCoder, SendQueue, Transport,
+    RealBlockCoder, SendQueue, StoreRecord, Transport,
 };
+use dl_store::{ChainStore, FileStore, FsyncPolicy};
 use dl_wire::frame::{encode_frame, FrameDecoder, SegmentBuf};
-use dl_wire::{ClusterConfig, Envelope, NodeId, Tx};
+use dl_wire::{ClusterConfig, Envelope, Epoch, NodeId, Tx, WireDecode, WireEncode};
 
 /// Transport parameters of one node.
 #[derive(Clone, Debug)]
@@ -98,6 +100,15 @@ pub struct NetConfig {
     pub reconnect_backoff_max: Duration,
     /// Engine poll cadence in ms (wake hints can only shorten the wait).
     pub tick_ms: u64,
+    /// Durable storage root. `Some(dir)` gives the node a write-ahead log
+    /// at `dir/node<id>.log` (created if absent): every engine `Persist`
+    /// effect is appended before the effects after it reach the wire, and
+    /// on spawn an existing log is replayed through [`Engine::restore`] so
+    /// the node resumes from its durable horizon and catches up on missed
+    /// epochs through retrieval. `None` (default) runs in-memory only.
+    pub data_dir: Option<PathBuf>,
+    /// When the write-ahead log fsyncs (ignored without `data_dir`).
+    pub fsync: FsyncPolicy,
 }
 
 impl NetConfig {
@@ -110,6 +121,8 @@ impl NetConfig {
             write_timeout: Duration::from_secs(30),
             reconnect_backoff_max: Duration::from_secs(2),
             tick_ms: 25,
+            data_dir: None,
+            fsync: FsyncPolicy::default(),
         }
     }
 }
@@ -215,6 +228,19 @@ impl Outbox {
         self.cv.notify_all();
     }
 
+    /// Drop every queued `ReturnChunk` for the cancelled retrieval
+    /// `(epoch, index)`. Freed bytes may release a backpressured producer.
+    fn purge_returns(&self, epoch: Epoch, index: NodeId) {
+        let (count, _) = self
+            .queue
+            .lock()
+            .expect("outbox lock")
+            .purge_returns(epoch, index);
+        if count > 0 {
+            self.cv.notify_all();
+        }
+    }
+
     /// Next envelope in priority order; blocks until one is available or
     /// the node stops.
     fn pop_blocking(&self, stop: &AtomicBool) -> Option<Envelope> {
@@ -301,12 +327,18 @@ impl Shared {
 }
 
 /// The engine thread's effect sink: `send` goes to the peer outboxes,
-/// `deliver` into the shared log, `wake_at` shortens the next poll.
+/// `deliver` into the shared log, `wake_at` shortens the next poll, and
+/// `persist` appends to the write-ahead log (when the node has one) —
+/// before any later effect of the same engine call reaches a socket,
+/// because the sink is only dropped when the call returns and the writers
+/// drain the outboxes asynchronously anyway.
 struct NetSink<'a> {
     me: NodeId,
     outboxes: &'a mut Outboxes,
     shared: &'a Shared,
     next_wake: &'a mut Option<u64>,
+    store: &'a mut Option<FileStore>,
+    fsync: FsyncPolicy,
 }
 
 impl EffectSink for NetSink<'_> {
@@ -324,6 +356,35 @@ impl EffectSink for NetSink<'_> {
 
     fn wake_at(&mut self, at_ms: u64) {
         *self.next_wake = Some(self.next_wake.map_or(at_ms, |w| w.min(at_ms)));
+    }
+
+    fn persists(&self) -> bool {
+        self.store.is_some()
+    }
+
+    fn persist(&mut self, record: StoreRecord) {
+        let Some(store) = self.store.as_mut() else {
+            return;
+        };
+        // A WAL that stops accepting writes voids every durability claim
+        // the node would go on making; dying loudly beats running on.
+        store
+            .append(&record.to_bytes())
+            .expect("write-ahead log append failed");
+        let sync_now = match self.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EpochBoundary => record.is_epoch_boundary(),
+            FsyncPolicy::Never => false,
+        };
+        if sync_now {
+            store.sync().expect("write-ahead log fsync failed");
+        }
+    }
+
+    fn purge_returns(&mut self, to: NodeId, epoch: Epoch, index: NodeId) {
+        if let Some(outbox) = self.outboxes.slots[to.idx()].as_ref() {
+            outbox.purge_returns(epoch, index);
+        }
     }
 }
 
@@ -380,17 +441,62 @@ impl NetNode {
     /// Spawn a node around `engine`. `listener` must already be bound to
     /// `cfg.peers[cfg.me]` (binding first is what makes port assignment
     /// race-free for in-process clusters).
+    ///
+    /// With `cfg.data_dir` set, the node's write-ahead log is opened (and
+    /// its torn tail truncated) *before* any thread starts: an existing
+    /// log is replayed through [`Engine::restore`], the delivered prefix
+    /// is pre-filled into [`NetNode::delivered`], and the engine resumes
+    /// from its durable horizon — fetching whatever it missed from peers
+    /// through the retrieval-driven catch-up protocol.
     pub fn spawn(
-        engine: Box<dyn Engine + Send>,
+        mut engine: Box<dyn Engine + Send>,
         listener: TcpListener,
         cfg: NetConfig,
     ) -> io::Result<NetNode> {
         assert_eq!(engine.id(), cfg.me, "engine identity/config mismatch");
         let n = cfg.peers.len();
         assert!(cfg.me.idx() < n, "node id out of range");
+        let mut store = None;
+        let mut replayed_delivered = Vec::new();
+        if let Some(dir) = &cfg.data_dir {
+            let file = FileStore::open(dir.join(format!("node{}.log", cfg.me.0)))?;
+            let records: Vec<StoreRecord> = file
+                .replay()?
+                .iter()
+                .map(|raw| {
+                    StoreRecord::from_bytes(raw).map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("undecodable write-ahead record: {e:?}"),
+                        )
+                    })
+                })
+                .collect::<io::Result<_>>()?;
+            replayed_delivered = records
+                .iter()
+                .filter_map(|rec| match rec {
+                    StoreRecord::Delivered {
+                        epoch,
+                        proposer,
+                        via_link,
+                        block,
+                    } => Some(DeliveredBlock {
+                        epoch: *epoch,
+                        proposer: *proposer,
+                        block: block.clone(),
+                        via_link: *via_link,
+                        // Delivered before this process's clock existed.
+                        delivered_ms: 0,
+                    }),
+                    _ => None,
+                })
+                .collect();
+            engine.restore(&records);
+            store = Some(file);
+        }
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
-            delivered: Mutex::new(Vec::new()),
+            delivered: Mutex::new(replayed_delivered),
             stats: Mutex::new(None),
             conns: Mutex::new(Vec::new()),
             next_conn_id: AtomicU64::new(0),
@@ -443,8 +549,9 @@ impl NetNode {
             let shared = Arc::clone(&shared);
             let tick = cfg.tick_ms.max(1);
             let me = cfg.me;
+            let fsync = cfg.fsync;
             threads.push(std::thread::spawn(move || {
-                engine_loop(engine, input_rx, outboxes, shared, tick, me);
+                engine_loop(engine, input_rx, outboxes, shared, tick, me, store, fsync);
             }));
         }
 
@@ -525,6 +632,7 @@ fn now_since(start: Instant) -> u64 {
     start.elapsed().as_millis() as u64
 }
 
+#[allow(clippy::too_many_arguments)]
 fn engine_loop(
     mut engine: Box<dyn Engine + Send>,
     input: Receiver<Input>,
@@ -532,6 +640,8 @@ fn engine_loop(
     shared: Arc<Shared>,
     tick_ms: u64,
     me: NodeId,
+    mut store: Option<FileStore>,
+    fsync: FsyncPolicy,
 ) {
     let start = Instant::now();
     let mut next_wake: Option<u64> = None;
@@ -556,6 +666,8 @@ fn engine_loop(
                 outboxes: &mut outboxes,
                 shared: &shared,
                 next_wake: &mut next_wake,
+                store: &mut store,
+                fsync,
             };
             match received {
                 Ok(Input::Tx(tx)) => engine.submit_tx(tx, now, &mut sink),
@@ -576,6 +688,8 @@ fn engine_loop(
                         outboxes: &mut outboxes,
                         shared: &shared,
                         next_wake: &mut next_wake,
+                        store: &mut store,
+                        fsync,
                     };
                     engine.poll(now, &mut sink);
                 }
@@ -591,8 +705,12 @@ fn engine_loop(
             *shared.stats.lock().expect("stats lock") = engine.stats();
         }
     }
-    // Final snapshot so late readers see the end state.
+    // Final snapshot so late readers see the end state, and a clean-stop
+    // fsync so a graceful shutdown never leaves an unsynced tail.
     *shared.stats.lock().expect("stats lock") = engine.stats();
+    if let Some(store) = store.as_mut() {
+        store.sync().expect("write-ahead log fsync failed");
+    }
 }
 
 fn listen_loop(listener: TcpListener, n: usize, shared: Arc<Shared>, input: Sender<Input>) {
@@ -778,11 +896,13 @@ pub struct LocalCluster {
 impl LocalCluster {
     /// Spawn `n` honest nodes running `variant` on ephemeral localhost
     /// ports. `tune` may adjust each node's protocol config (Nagle
-    /// thresholds etc.) before spawn.
-    pub fn spawn_tuned(
+    /// thresholds etc.) and `tune_net` its transport config (storage,
+    /// timeouts, …) before spawn.
+    pub fn spawn_cfg(
         n: usize,
         variant: ProtocolVariant,
         tune: impl Fn(&mut NodeConfig),
+        tune_net: impl Fn(&mut NetConfig),
     ) -> io::Result<LocalCluster> {
         let cluster = ClusterConfig::new(n);
         // Bind every listener before spawning anything: peers know all
@@ -798,10 +918,20 @@ impl LocalCluster {
         for (i, listener) in listeners.into_iter().enumerate() {
             let mut node_cfg = NodeConfig::new(cluster.clone(), variant);
             tune(&mut node_cfg);
-            let cfg = NetConfig::new(NodeId(i as u16), peers.clone());
+            let mut cfg = NetConfig::new(NodeId(i as u16), peers.clone());
+            tune_net(&mut cfg);
             nodes.push(NetNode::spawn_honest(node_cfg, listener, cfg)?);
         }
         Ok(LocalCluster { nodes, peers })
+    }
+
+    /// [`LocalCluster::spawn_cfg`] with default transport parameters.
+    pub fn spawn_tuned(
+        n: usize,
+        variant: ProtocolVariant,
+        tune: impl Fn(&mut NodeConfig),
+    ) -> io::Result<LocalCluster> {
+        LocalCluster::spawn_cfg(n, variant, tune, |_| {})
     }
 
     pub fn spawn(n: usize, variant: ProtocolVariant) -> io::Result<LocalCluster> {
@@ -866,8 +996,43 @@ pub fn run_cluster_to_quiescence(
     tx_bytes: u32,
     timeout: Duration,
 ) -> Result<Duration, String> {
-    let cluster =
-        LocalCluster::spawn(n, variant).map_err(|e| format!("{variant:?}: spawn failed: {e}"))?;
+    run_cluster_inner(n, variant, txs, tx_bytes, timeout, None)
+}
+
+/// [`run_cluster_to_quiescence`] with every node keeping a write-ahead
+/// log under `data_root/node<i>/` — the `dl-node --data-dir` workload.
+pub fn run_cluster_to_quiescence_stored(
+    n: usize,
+    variant: ProtocolVariant,
+    txs: u64,
+    tx_bytes: u32,
+    timeout: Duration,
+    data_root: &Path,
+    fsync: FsyncPolicy,
+) -> Result<Duration, String> {
+    run_cluster_inner(n, variant, txs, tx_bytes, timeout, Some((data_root, fsync)))
+}
+
+fn run_cluster_inner(
+    n: usize,
+    variant: ProtocolVariant,
+    txs: u64,
+    tx_bytes: u32,
+    timeout: Duration,
+    store: Option<(&Path, FsyncPolicy)>,
+) -> Result<Duration, String> {
+    let cluster = LocalCluster::spawn_cfg(
+        n,
+        variant,
+        |_| {},
+        |cfg| {
+            if let Some((root, fsync)) = store {
+                cfg.data_dir = Some(root.join(format!("node{}", cfg.me.0)));
+                cfg.fsync = fsync;
+            }
+        },
+    )
+    .map_err(|e| format!("{variant:?}: spawn failed: {e}"))?;
     let started = Instant::now();
     for s in 0..txs {
         let node = (s % n as u64) as usize;
@@ -906,6 +1071,138 @@ pub fn run_cluster_to_quiescence(
         }
     }
     Ok(elapsed)
+}
+
+/// The restart-recovery acceptance scenario, end to end over real TCP:
+/// spawn a 4-node store-backed cluster under `data_root`, deliver a first
+/// wave, **kill** node 3 (threads joined, sockets closed), deliver a
+/// second wave among the survivors, then **restart** node 3 on the same
+/// address with the same `--data-dir` — it must replay its write-ahead
+/// log, catch up on the missed epochs through retrieval, and end with a
+/// delivered prefix identical to the survivors'. This is the `dl-node
+/// --restart-smoke` workload and the CI restart-recovery check.
+pub fn run_restart_recovery(
+    data_root: &Path,
+    fsync: FsyncPolicy,
+    timeout: Duration,
+) -> Result<Duration, String> {
+    let n = 4usize;
+    let started = Instant::now();
+    let cluster_cfg = ClusterConfig::new(n);
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind(("127.0.0.1", 0)))
+        .collect::<io::Result<_>>()
+        .map_err(|e| format!("bind failed: {e}"))?;
+    let peers: Vec<SocketAddr> = listeners
+        .iter()
+        .map(TcpListener::local_addr)
+        .collect::<io::Result<_>>()
+        .map_err(|e| format!("local_addr failed: {e}"))?;
+    let net_cfg = |i: usize| {
+        let mut cfg = NetConfig::new(NodeId(i as u16), peers.clone());
+        cfg.data_dir = Some(data_root.join(format!("node{i}")));
+        cfg.fsync = fsync;
+        // Fast down-detection and re-dial so the kill/restart cycle fits a
+        // smoke-test budget.
+        cfg.connect_timeout = Duration::from_secs(1);
+        cfg.reconnect_backoff_max = Duration::from_millis(250);
+        cfg
+    };
+    let mut nodes: Vec<Option<NetNode>> = Vec::with_capacity(n);
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let node_cfg = NodeConfig::new(cluster_cfg.clone(), ProtocolVariant::Dl);
+        nodes.push(Some(
+            NetNode::spawn_honest(node_cfg, listener, net_cfg(i))
+                .map_err(|e| format!("spawn node {i}: {e}"))?,
+        ));
+    }
+    let wait_orders = |nodes: &[Option<NetNode>], expected: usize| -> Result<(), String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if nodes
+                .iter()
+                .flatten()
+                .all(|nd| nd.tx_order().len() >= expected)
+            {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                let counts: Vec<usize> = nodes
+                    .iter()
+                    .map(|nd| nd.as_ref().map_or(0, |nd| nd.tx_order().len()))
+                    .collect();
+                return Err(format!(
+                    "stalled at {counts:?} of {expected} within {timeout:?}"
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    };
+
+    // Wave 1: all four members alive.
+    for s in 0..3u64 {
+        let at = s as usize % 3;
+        nodes[at]
+            .as_ref()
+            .expect("alive")
+            .submit_tx(Tx::synthetic(NodeId(at as u16), s, 0, 250));
+    }
+    wait_orders(&nodes, 3).map_err(|e| format!("wave 1 {e}"))?;
+
+    // Kill node 3: threads joined, sockets closed, WAL synced on the way
+    // out. Its durable state now lives only under data_root.
+    nodes[3].take().expect("node 3").shutdown();
+
+    // Wave 2: the survivors commit epochs the dead member never saw.
+    for s in 10..13u64 {
+        let at = s as usize % 3;
+        nodes[at]
+            .as_ref()
+            .expect("alive")
+            .submit_tx(Tx::synthetic(NodeId(at as u16), s, 0, 250));
+    }
+    wait_orders(&nodes, 6).map_err(|e| format!("wave 2 {e}"))?;
+
+    // Restart node 3 with the same address and data dir. The just-closed
+    // listener can linger briefly in the kernel; retry the bind.
+    let listener = {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match TcpListener::bind(peers[3]) {
+                Ok(l) => break l,
+                Err(e) if Instant::now() >= deadline => {
+                    return Err(format!("rebind node 3: {e}"));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    };
+    let node_cfg = NodeConfig::new(cluster_cfg.clone(), ProtocolVariant::Dl);
+    nodes[3] = Some(
+        NetNode::spawn_honest(node_cfg, listener, net_cfg(3))
+            .map_err(|e| format!("respawn node 3: {e}"))?,
+    );
+    // The restarted node must reach the full 6-tx prefix: wave 1 out of
+    // its replayed log, wave 2 through retrieval-driven catch-up.
+    wait_orders(&nodes, 6).map_err(|e| format!("catch-up {e}"))?;
+
+    let reference = nodes[0].as_ref().expect("alive").tx_order();
+    let restarted = nodes[3].as_ref().expect("alive").tx_order();
+    for node in nodes.into_iter().flatten() {
+        node.shutdown();
+    }
+    if restarted != reference {
+        return Err(format!(
+            "restarted node diverged: {restarted:?} vs {reference:?}"
+        ));
+    }
+    let mut dedup = reference.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    if dedup.len() != reference.len() {
+        return Err("restarted run produced duplicate deliveries".into());
+    }
+    Ok(started.elapsed())
 }
 
 #[cfg(test)]

@@ -236,6 +236,22 @@ fn cluster_reconnects_to_a_killed_and_revived_peer() {
 }
 
 #[test]
+fn killed_node_restarts_from_its_wal_and_catches_up() {
+    // The tentpole acceptance scenario over real TCP, shared with the
+    // `dl-node --restart-smoke` CI leg: a store-backed member is killed,
+    // the survivors keep committing, and the member restarted with the
+    // same --data-dir must replay its write-ahead log, fetch the missed
+    // epochs through retrieval, and end with the identical delivered
+    // prefix — run_restart_recovery asserts all of that and fails loudly
+    // otherwise.
+    let data_root = std::env::temp_dir().join(format!("dl-net-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_root);
+    let result = dl_net::run_restart_recovery(&data_root, dl_store::FsyncPolicy::Always, TIMEOUT);
+    let _ = std::fs::remove_dir_all(&data_root);
+    result.unwrap_or_else(|msg| panic!("{msg}"));
+}
+
+#[test]
 fn cluster_tolerates_a_crashed_peer() {
     // Node 3 never comes up: its listener is dropped before anyone spawns.
     // The three live nodes' writers must give up on it (mark the outbox

@@ -36,9 +36,10 @@ use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 use dl_core::{
     ByzantineBehavior, ByzantineNode, DeliveredBlock, EffectSink, Engine, Node, NodeConfig,
-    NodeStats, ProtocolVariant, RealBlockCoder, SendQueue, StatEvent, Transport,
+    NodeStats, ProtocolVariant, RealBlockCoder, SendQueue, StatEvent, StoreRecord, Transport,
 };
-use dl_wire::{ClusterConfig, Envelope, NodeId, Tx};
+use dl_store::{ChainStore, MemoryStore};
+use dl_wire::{ClusterConfig, Envelope, Epoch, NodeId, Tx, WireDecode, WireEncode};
 
 pub use fluid::{BlockStore, FluidCoder};
 
@@ -132,6 +133,10 @@ pub struct SimReport {
     pub stats: Vec<Option<NodeStats>>,
     /// Stat events in emission order: `(when, who, event)`.
     pub events: Vec<(u64, NodeId, StatEvent)>,
+    /// Envelopes dropped from link queues by retrieval-cancel purge hints.
+    pub purged_envelopes: u64,
+    /// Queued bytes reclaimed by retrieval-cancel purge hints.
+    pub purged_bytes: u64,
 }
 
 impl SimReport {
@@ -241,6 +246,12 @@ struct Fabric {
     scheduled_polls: HashSet<(u64, u16)>,
     delivered: Vec<Vec<DeliveredBlock>>,
     stat_events: Vec<(u64, NodeId, StatEvent)>,
+    /// Per-node write-ahead logs (the simulated disks). `None` until the
+    /// scenario opts a node in with [`Simulation::enable_store`]. Kept on
+    /// the fabric, not the engine, so they survive [`Simulation::crash`].
+    stores: Vec<Option<MemoryStore>>,
+    purged_envelopes: u64,
+    purged_bytes: u64,
 }
 
 impl Fabric {
@@ -364,6 +375,26 @@ impl EffectSink for FabricSink<'_> {
             .stat_events
             .push((self.fabric.now, self.from, event));
     }
+
+    fn persists(&self) -> bool {
+        self.fabric.stores[self.from.idx()].is_some()
+    }
+
+    fn persist(&mut self, record: StoreRecord) {
+        if let Some(store) = self.fabric.stores[self.from.idx()].as_mut() {
+            store
+                .append(&record.to_bytes())
+                .expect("memory append is infallible");
+        }
+    }
+
+    fn purge_returns(&mut self, to: NodeId, epoch: Epoch, index: NodeId) {
+        let n = self.fabric.cfg.cluster.n;
+        let link = &mut self.fabric.links[self.from.idx() * n + to.idx()];
+        let (count, bytes) = link.queue.purge_returns(epoch, index);
+        self.fabric.purged_envelopes += count as u64;
+        self.fabric.purged_bytes += bytes as u64;
+    }
 }
 
 /// A deterministic discrete-event run of one cluster.
@@ -448,6 +479,9 @@ impl Simulation {
                 scheduled_polls: HashSet::new(),
                 delivered: vec![Vec::new(); n],
                 stat_events: Vec::new(),
+                stores: vec![None; n],
+                purged_envelopes: 0,
+                purged_bytes: 0,
             },
             burst: Vec::new(),
             store,
@@ -487,6 +521,61 @@ impl Simulation {
             if to != node {
                 self.set_link(node, to, spec);
             }
+        }
+    }
+
+    /// Give `node` a simulated disk: a [`MemoryStore`] write-ahead log that
+    /// the engine's `Persist` effects append to and that survives
+    /// [`Simulation::crash`] / [`Simulation::revive`].
+    pub fn enable_store(&mut self, node: usize) {
+        self.fabric.stores[node] = Some(MemoryStore::new());
+    }
+
+    /// Crash `node`: its slot goes mute (receives and sends nothing) and
+    /// everything still queued on its uplinks is lost — only the write-ahead
+    /// log enabled with [`Simulation::enable_store`] survives. Envelopes
+    /// already transmitted (in flight) still arrive, like packets on the
+    /// wire at the instant a real process dies.
+    pub fn crash(&mut self, node: usize) {
+        self.set_node_kind(node, SimNodeKind::Mute);
+        for to in 0..self.fabric.cfg.cluster.n {
+            if to != node {
+                let n = self.fabric.cfg.cluster.n;
+                self.fabric.links[node * n + to].queue = SendQueue::new();
+            }
+        }
+    }
+
+    /// Restart a crashed `node`: build a fresh honest engine, replay its
+    /// write-ahead log through [`Engine::restore`], and schedule its first
+    /// poll — from there the catch-up sync protocol closes the gap to the
+    /// cluster through ordinary retrieval traffic.
+    pub fn revive(&mut self, node: usize) {
+        let mut engine = build_engine(
+            &self.fabric.cfg.cluster,
+            self.fabric.cfg.variant,
+            self.store.as_ref(),
+            node,
+            SimNodeKind::Honest,
+        );
+        if let Some(store) = &self.fabric.stores[node] {
+            let records: Vec<StoreRecord> = store
+                .replay()
+                .expect("memory replay is infallible")
+                .iter()
+                .map(|raw| StoreRecord::from_bytes(raw).expect("log written by this run"))
+                .collect();
+            engine.restore(&records);
+        }
+        self.set_engine(node, engine);
+        let at = self.fabric.now + 1;
+        if self.fabric.scheduled_polls.insert((at, node as u16)) {
+            self.fabric.push_event(
+                at,
+                EvKind::Poll {
+                    node: NodeId(node as u16),
+                },
+            );
         }
     }
 
@@ -584,6 +673,8 @@ impl Simulation {
             delivered: fabric.delivered.clone(),
             stats: nodes.iter().map(|n| n.stats()).collect(),
             events: fabric.stat_events.clone(),
+            purged_envelopes: fabric.purged_envelopes,
+            purged_bytes: fabric.purged_bytes,
         }
     }
 

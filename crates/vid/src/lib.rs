@@ -260,6 +260,37 @@ impl<C: Coder> VidServer<C> {
         self.complete_root
     }
 
+    /// The chunk this server stores, if any (root, payload, proof). The
+    /// node persists the chunk the moment it is accepted, so a restarted
+    /// server can keep serving retrievals for epochs it held before the
+    /// crash.
+    pub fn stored_chunk(&self) -> Option<&(Hash, ChunkPayload, MerkleProof)> {
+        self.my_chunk.as_ref()
+    }
+
+    /// Rebuild pre-crash dispersal state from durable records.
+    ///
+    /// A restored chunk is marked as already announced (`GotChunk` went out
+    /// with the original accept; re-broadcasting is pure duplicate
+    /// traffic). A restored completion also restores `ready_sent`: a
+    /// `Complete` implies `2f+1` `Ready`s were exchanged, ours among the
+    /// possible contributors, and a duplicate `Ready` would be deduped
+    /// anyway — staying quiet is the cheaper equivalent.
+    pub fn restore(
+        &mut self,
+        chunk: Option<(Hash, ChunkPayload, MerkleProof)>,
+        complete_root: Option<Hash>,
+    ) {
+        if let Some(chunk) = chunk {
+            self.my_chunk = Some(chunk);
+            self.got_chunk_sent = true;
+        }
+        if let Some(root) = complete_root {
+            self.complete_root = Some(root);
+            self.ready_sent = true;
+        }
+    }
+
     /// Handle a VID message from `from`. The caller (the DispersedLedger
     /// node) has already enforced that `Chunk` messages only come from the
     /// instance's designated disperser (§4.2 footnote 3).

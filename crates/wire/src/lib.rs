@@ -24,5 +24,7 @@ pub use frame::{
     encode_frame, FrameDecoder, FrameError, SegmentBuf, WireEncodeSegmented, FRAME_HEADER_LEN,
     MAX_FRAME_BODY,
 };
-pub use msg::{BaMsg, ChunkPayload, Envelope, ProtoMsg, TrafficClass, VidMsg, FRAME_OVERHEAD};
+pub use msg::{
+    BaMsg, ChunkPayload, Envelope, ProtoMsg, SyncMsg, TrafficClass, VidMsg, FRAME_OVERHEAD,
+};
 pub use nodeset::NodeSet;

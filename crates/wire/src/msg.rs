@@ -283,11 +283,61 @@ impl WireDecode for BaMsg {
     }
 }
 
+/// Catch-up synchronization messages for restart recovery.
+///
+/// A node that restarts after its retained peers garbage-collected the
+/// epochs it missed cannot re-run those BAs (peers have discarded the
+/// instances), so it asks peers for the *outcomes* directly: `f+1`
+/// identical answers contain at least one correct node, which makes the
+/// attested outcome safe to adopt. Block contents then flow through the
+/// ordinary retrieval path — sync only transfers the tiny committed-set
+/// bit vectors.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SyncMsg {
+    /// Recovering node → all: "send me epoch outcomes starting at the
+    /// envelope's epoch" (my agreement frontier + 1).
+    Request,
+    /// Peer → recovering node: the committed-set bit vector (`committed[j]`
+    /// = BA `j` decided 1) for the envelope's epoch.
+    Outcome { committed: Vec<bool> },
+}
+
+impl WireEncode for SyncMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            SyncMsg::Request => buf.push(0),
+            SyncMsg::Outcome { committed } => {
+                buf.push(1);
+                committed.encode(buf);
+            }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        match self {
+            SyncMsg::Request => 1,
+            SyncMsg::Outcome { committed } => 1 + committed.encoded_len(),
+        }
+    }
+}
+
+impl WireDecode for SyncMsg {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(match read_u8(buf)? {
+            0 => SyncMsg::Request,
+            1 => SyncMsg::Outcome {
+                committed: Vec::<bool>::decode(buf)?,
+            },
+            _ => return Err(CodecError::InvalidValue("sync message tag")),
+        })
+    }
+}
+
 /// Either sub-protocol's message.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ProtoMsg {
     Vid(VidMsg),
     Ba(BaMsg),
+    Sync(SyncMsg),
 }
 
 impl WireEncodeSegmented for ProtoMsg {
@@ -300,6 +350,11 @@ impl WireEncodeSegmented for ProtoMsg {
             ProtoMsg::Ba(m) => {
                 let head = out.head_mut();
                 head.push(1);
+                m.encode(head);
+            }
+            ProtoMsg::Sync(m) => {
+                let head = out.head_mut();
+                head.push(2);
                 m.encode(head);
             }
         }
@@ -317,6 +372,7 @@ impl WireEncode for ProtoMsg {
         1 + match self {
             ProtoMsg::Vid(m) => m.encoded_len(),
             ProtoMsg::Ba(m) => m.encoded_len(),
+            ProtoMsg::Sync(m) => m.encoded_len(),
         }
     }
 }
@@ -326,6 +382,7 @@ impl WireDecode for ProtoMsg {
         Ok(match read_u8(buf)? {
             0 => ProtoMsg::Vid(VidMsg::decode(buf)?),
             1 => ProtoMsg::Ba(BaMsg::decode(buf)?),
+            2 => ProtoMsg::Sync(SyncMsg::decode(buf)?),
             _ => return Err(CodecError::InvalidValue("proto message tag")),
         })
     }
@@ -356,6 +413,16 @@ impl Envelope {
             epoch,
             index,
             payload: ProtoMsg::Ba(msg),
+        }
+    }
+
+    /// Catch-up sync message. `epoch` is the from-epoch (for `Request`) or
+    /// the described epoch (for `Outcome`); `index` is unused and zero.
+    pub fn sync(epoch: Epoch, msg: SyncMsg) -> Envelope {
+        Envelope {
+            epoch,
+            index: NodeId(0),
+            payload: ProtoMsg::Sync(msg),
         }
     }
 
@@ -467,6 +534,22 @@ mod tests {
         ] {
             roundtrip(Envelope::ba(Epoch(9), NodeId(15), m));
         }
+    }
+
+    #[test]
+    fn sync_messages_roundtrip_and_class_as_dispersal() {
+        roundtrip(Envelope::sync(Epoch(12), SyncMsg::Request));
+        let outcome = Envelope::sync(
+            Epoch(12),
+            SyncMsg::Outcome {
+                committed: vec![true, false, true, true],
+            },
+        );
+        roundtrip(outcome.clone());
+        // Sync rides the dispersal class: outcome vectors are tiny control
+        // traffic a recovering node needs before any retrieval.
+        assert_eq!(outcome.class(), TrafficClass::Dispersal);
+        assert!(outcome.wire_size() < 64);
     }
 
     #[test]
