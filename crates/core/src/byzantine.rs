@@ -3,7 +3,7 @@
 //! A [`ByzantineNode`] implements the same [`crate::Engine`] trait as the
 //! honest [`crate::Node`], so drivers (the mesh test harness, `dl-sim`,
 //! `dl-net`) can drop one into a cluster slot as a `Box<dyn Engine>` without
-//! special-casing. Two behaviours ship:
+//! special-casing. Five behaviours ship:
 //!
 //! * [`ByzantineBehavior::Mute`] — a crashed node: consumes everything,
 //!   emits nothing. Exercises the `f`-crash-tolerance of every layer.
@@ -14,7 +14,21 @@
 //!   guarantees no root can assemble an `N − f` quorum, so the equivocator's
 //!   dispersal never completes and its BA slot decides 0 — the cluster
 //!   commits the epoch without it.
+//! * [`ByzantineBehavior::DelayRelease`] — a straggling proposer by
+//!   choice: builds a *valid* dispersal but withholds every chunk and vote
+//!   until the last useful moment, probing the pipeline's tolerance for
+//!   late-but-correct traffic (the epoch must commit either with the late
+//!   block or, if the ACS zero-fill won the race, without it — never
+//!   inconsistently).
+//! * [`ByzantineBehavior::SelectiveSend`] — disperses a valid block to one
+//!   peer short of any completing quorum, so its dispersal can never
+//!   gather `N − f` acknowledgements and the cluster must commit the epoch
+//!   around the permanently-pending slot.
+//! * [`ByzantineBehavior::GarbageChunks`] — sends structurally well-formed
+//!   chunks whose Merkle proofs do not verify against the advertised root,
+//!   exercising every honest node's chunk-rejection path end to end.
 
+use dl_crypto::Hash;
 use dl_wire::{BaMsg, Block, Envelope, Epoch, NodeId, Tx, VidMsg};
 
 use crate::coder::BlockCoder;
@@ -30,6 +44,13 @@ pub enum ByzantineBehavior {
     /// Disperses two conflicting blocks per epoch and votes both ways in
     /// every BA.
     Equivocate,
+    /// Disperses a valid block but releases its chunks and votes only
+    /// after [`ByzantineNode::RELEASE_DELAY_MS`].
+    DelayRelease,
+    /// Disperses a valid block to one peer short of a completing quorum.
+    SelectiveSend,
+    /// Disperses chunks whose Merkle proofs do not verify.
+    GarbageChunks,
 }
 
 /// A faulty cluster member with the same [`Engine`] interface as
@@ -41,6 +62,8 @@ pub struct ByzantineNode<C: BlockCoder> {
     behavior: ByzantineBehavior,
     /// Highest epoch this node has attacked (0 = none yet).
     attacked_up_to: u64,
+    /// Envelopes a `DelayRelease` node is sitting on: `(due, to, env)`.
+    withheld: Vec<(u64, NodeId, Envelope)>,
 }
 
 impl<C: BlockCoder> ByzantineNode<C> {
@@ -57,8 +80,14 @@ impl<C: BlockCoder> ByzantineNode<C> {
             coder,
             behavior,
             attacked_up_to: 0,
+            withheld: Vec::new(),
         }
     }
+
+    /// How long a [`ByzantineBehavior::DelayRelease`] node sits on its
+    /// chunks and votes: several Nagle delays — late enough that honest
+    /// peers' epochs are well under way, early enough to still be usable.
+    pub const RELEASE_DELAY_MS: u64 = 350;
 
     pub fn id(&self) -> NodeId {
         self.me
@@ -66,6 +95,120 @@ impl<C: BlockCoder> ByzantineNode<C> {
 
     pub fn behavior(&self) -> ByzantineBehavior {
         self.behavior
+    }
+
+    /// One valid block for `epoch`, encoded: the raw material for the
+    /// behaviours that disperse real (if ill-intentioned) payloads.
+    fn valid_encoding(&self, epoch: u64) -> (Block, dl_vid::EncodedBlock) {
+        let block = Block {
+            header: dl_wire::BlockHeader {
+                epoch: Epoch(epoch),
+                proposer: self.me,
+                v_array: vec![0; self.cfg.cluster.n],
+            },
+            body: vec![Tx::synthetic(self.me, epoch, 0, 64)],
+        };
+        let enc = self.coder.encode(&self.coder.pack(&block));
+        (block, enc)
+    }
+
+    /// `DelayRelease`: build a fully valid dispersal, then sit on every
+    /// chunk and vote until `now + RELEASE_DELAY_MS`.
+    fn attack_delay_release(&mut self, epoch: u64, now: u64, sink: &mut dyn EffectSink) {
+        let n = self.cfg.cluster.n;
+        let (_, enc) = self.valid_encoding(epoch);
+        let due = now + Self::RELEASE_DELAY_MS;
+        for i in 0..n {
+            let to = NodeId(i as u16);
+            if to == self.me {
+                continue;
+            }
+            let (payload, proof) = enc.chunks[i].clone();
+            self.withheld.push((
+                due,
+                to,
+                Envelope::vid(
+                    Epoch(epoch),
+                    self.me,
+                    VidMsg::Chunk {
+                        root: enc.root,
+                        proof,
+                        payload,
+                    },
+                ),
+            ));
+            self.withheld.push((
+                due,
+                to,
+                Envelope::ba(
+                    Epoch(epoch),
+                    self.me,
+                    BaMsg::BVal {
+                        round: 0,
+                        value: true,
+                    },
+                ),
+            ));
+        }
+        sink.wake_at(due);
+    }
+
+    /// `SelectiveSend`: a valid dispersal to one peer short of a quorum —
+    /// even if every recipient acknowledges, completion needs `N − f`
+    /// votes and only `N − f − 1` peers ever saw a chunk.
+    fn attack_selective_send(&self, epoch: u64, sink: &mut dyn EffectSink) {
+        let n = self.cfg.cluster.n;
+        let f = self.cfg.cluster.f;
+        let (_, enc) = self.valid_encoding(epoch);
+        let mut sent = 0usize;
+        for i in 0..n {
+            let to = NodeId(i as u16);
+            if to == self.me || sent == n - f - 1 {
+                continue;
+            }
+            sent += 1;
+            let (payload, proof) = enc.chunks[i].clone();
+            sink.send(
+                to,
+                Envelope::vid(
+                    Epoch(epoch),
+                    self.me,
+                    VidMsg::Chunk {
+                        root: enc.root,
+                        proof,
+                        payload,
+                    },
+                ),
+            );
+        }
+    }
+
+    /// `GarbageChunks`: structurally well-formed chunks advertised under a
+    /// root their Merkle proofs cannot verify against. Every honest server
+    /// must reject them without acknowledging or storing anything.
+    fn attack_garbage_chunks(&self, epoch: u64, sink: &mut dyn EffectSink) {
+        let n = self.cfg.cluster.n;
+        let (_, enc) = self.valid_encoding(epoch);
+        let bogus_root = Hash::digest(b"dl-byzantine-garbage-root");
+        for i in 0..n {
+            let to = NodeId(i as u16);
+            if to == self.me {
+                continue;
+            }
+            let (payload, proof) = enc.chunks[i].clone();
+            sink.send(
+                to,
+                Envelope::vid(
+                    Epoch(epoch),
+                    self.me,
+                    VidMsg::Chunk {
+                        root: bogus_root,
+                        proof,
+                        payload,
+                    },
+                ),
+            );
+        }
     }
 
     /// The equivocation payload for one epoch: two conflicting dispersals
@@ -133,25 +276,48 @@ impl<C: BlockCoder> Engine for ByzantineNode<C> {
     /// Byzantine nodes ignore client transactions.
     fn submit_tx(&mut self, _tx: Tx, _now: u64, _sink: &mut dyn EffectSink) {}
 
-    /// Equivocators attack an epoch the first time they see traffic for it;
-    /// mute nodes drop everything.
-    fn handle(&mut self, _from: NodeId, env: Envelope, _now: u64, sink: &mut dyn EffectSink) {
+    /// Reactive behaviours attack an epoch the first time they see traffic
+    /// for it; mute nodes drop everything.
+    fn handle(&mut self, _from: NodeId, env: Envelope, now: u64, sink: &mut dyn EffectSink) {
+        if self.behavior == ByzantineBehavior::Mute {
+            return;
+        }
+        let epoch = env.epoch.0;
+        if epoch == 0 || epoch <= self.attacked_up_to || epoch > self.attacked_up_to + 8 {
+            return; // once per epoch; bounded lookahead
+        }
+        self.attacked_up_to = epoch;
         match self.behavior {
-            ByzantineBehavior::Mute => {}
-            ByzantineBehavior::Equivocate => {
-                let epoch = env.epoch.0;
-                if epoch == 0 || epoch <= self.attacked_up_to || epoch > self.attacked_up_to + 8 {
-                    return; // once per epoch; bounded lookahead
-                }
-                self.attacked_up_to = epoch;
-                self.attack(epoch, sink)
-            }
+            ByzantineBehavior::Mute => unreachable!(),
+            ByzantineBehavior::Equivocate => self.attack(epoch, sink),
+            ByzantineBehavior::DelayRelease => self.attack_delay_release(epoch, now, sink),
+            ByzantineBehavior::SelectiveSend => self.attack_selective_send(epoch, sink),
+            ByzantineBehavior::GarbageChunks => self.attack_garbage_chunks(epoch, sink),
         }
     }
 
-    /// Mute and equivocating nodes do nothing on their own clock; the
-    /// equivocator is purely reactive.
-    fn poll(&mut self, _now: u64, _sink: &mut dyn EffectSink) {}
+    /// A `DelayRelease` node flushes whatever it has been sitting on once
+    /// the release time passes; every other behaviour is purely reactive.
+    fn poll(&mut self, now: u64, sink: &mut dyn EffectSink) {
+        if self.withheld.is_empty() {
+            return;
+        }
+        let mut next_due: Option<u64> = None;
+        let mut i = 0;
+        while i < self.withheld.len() {
+            if self.withheld[i].0 <= now {
+                let (_, to, env) = self.withheld.swap_remove(i);
+                sink.send(to, env);
+            } else {
+                let due = self.withheld[i].0;
+                next_due = Some(next_due.map_or(due, |d| d.min(due)));
+                i += 1;
+            }
+        }
+        if let Some(due) = next_due {
+            sink.wake_at(due);
+        }
+    }
 
     // `stats` keeps the default `None`: a Byzantine node's self-reported
     // counters would be meaningless.
@@ -241,6 +407,51 @@ mod tests {
             assert_eq!(stats.txs_delivered, 1, "node {i}");
             // The equivocator's dispersal must never complete, so nothing
             // of it is ever delivered.
+            assert_eq!(stats.malformed_blocks_delivered, 0, "node {i}");
+        }
+        assert!(orders[..3].windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn cluster_survives_delay_release_node() {
+        let (nodes, orders) = run_cluster(ByzantineBehavior::DelayRelease);
+        for (i, node) in nodes[..3].iter().enumerate() {
+            let stats = node.stats().unwrap();
+            // The withheld block is *valid*, so it may legitimately deliver
+            // (late) alongside the honest transaction — but never as a
+            // malformed slot, and never inconsistently across peers.
+            assert_eq!(stats.malformed_blocks_delivered, 0, "node {i}");
+        }
+        for (i, order) in orders[..3].iter().enumerate() {
+            assert!(
+                order.contains(&(NodeId(0), 0)),
+                "node {i} lost the honest tx: {order:?}"
+            );
+        }
+        assert!(orders[..3].windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn cluster_survives_selective_send_node() {
+        let (nodes, orders) = run_cluster(ByzantineBehavior::SelectiveSend);
+        for (i, node) in nodes[..3].iter().enumerate() {
+            let stats = node.stats().unwrap();
+            // One peer short of a quorum: the dispersal can never complete,
+            // so only the honest transaction is ever delivered.
+            assert_eq!(stats.txs_delivered, 1, "node {i}");
+            assert_eq!(stats.malformed_blocks_delivered, 0, "node {i}");
+        }
+        assert!(orders[..3].windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn cluster_survives_garbage_chunks_node() {
+        let (nodes, orders) = run_cluster(ByzantineBehavior::GarbageChunks);
+        for (i, node) in nodes[..3].iter().enumerate() {
+            let stats = node.stats().unwrap();
+            // Every chunk fails Merkle verification at every honest server,
+            // so the garbage dispersal gathers zero acknowledgements.
+            assert_eq!(stats.txs_delivered, 1, "node {i}");
             assert_eq!(stats.malformed_blocks_delivered, 0, "node {i}");
         }
         assert!(orders[..3].windows(2).all(|w| w[0] == w[1]));

@@ -91,7 +91,7 @@ pub use engine::{EffectSink, Engine, EngineExt};
 pub use linking::{compute_linking_estimate, CompletionTracker, Observation};
 pub use node::{DeliveredBlock, Node, NodeEffect, NodeStats, StatEvent};
 pub use queue::InputQueue;
-pub use records::StoreRecord;
+pub use records::{CompactionPlan, StoreRecord};
 pub use transport::{SendQueue, Transport};
 pub use variant::{NodeConfig, ProposeGate, ProtocolVariant, VariantFlags};
 

@@ -1446,9 +1446,15 @@ impl<C: BlockCoder> Node<C> {
                 }
             }
             SyncMsg::Outcome { committed } => {
+                // The upper bound is defence in depth: `admit_envelope`
+                // already drops envelopes beyond the lookahead window, but
+                // a sync reply claiming an outcome for an absurd future
+                // epoch must never seed tally state even if the admit path
+                // is ever loosened.
                 if !self.sync_active
                     || committed.len() != self.cfg.cluster.n
                     || epoch <= self.agreement_frontier
+                    || epoch > self.agreement_frontier + self.cfg.epoch_lookahead
                 {
                     return;
                 }
@@ -1797,6 +1803,95 @@ mod tests {
         // The same chunk from its proposer is accepted (GotChunk goes out).
         let effs = node.handle_vec(NodeId(2), env, 0);
         assert!(effs.iter().any(|e| matches!(e, NodeEffect::Send(..))));
+    }
+
+    #[test]
+    fn garbage_chunk_with_wrong_proof_root_is_rejected() {
+        // Regression for the `GarbageChunks` adversary: a structurally valid
+        // chunk advertised under a root its Merkle proof cannot verify
+        // against must produce no acknowledgement and no durable state.
+        let cluster = ClusterConfig::new(4);
+        let coder = RealBlockCoder::new(&cluster);
+        let cfg = NodeConfig::new(cluster.clone(), ProtocolVariant::Dl);
+        let mut node = Node::new(NodeId(0), cfg, RealBlockCoder::new(&cluster));
+        let block = Block::empty(Epoch(1), NodeId(2), vec![0; 4]);
+        let packed = crate::coder::BlockCoder::pack(&coder, &block);
+        let enc = dl_vid::Coder::encode(&coder, &packed);
+        let (payload, proof) = enc.chunks[0].clone();
+        let garbage = Envelope::vid(
+            Epoch(1),
+            NodeId(2),
+            VidMsg::Chunk {
+                root: Hash::digest(b"not-the-real-root"),
+                proof: proof.clone(),
+                payload: payload.clone(),
+            },
+        );
+        // `Vec<NodeEffect>` reifies Persist effects, so "nothing but the
+        // epoch's propose timer" covers both the wire (no GotChunk vote)
+        // and the WAL (no Chunk record): the garbage polluted nothing.
+        let effs = node.handle_vec(NodeId(2), garbage, 0);
+        assert!(
+            effs.iter().all(|e| matches!(e, NodeEffect::WakeAt(_))),
+            "garbage chunk produced effects: {effs:?}"
+        );
+        // The genuine chunk is still accepted afterwards — the rejected
+        // garbage did not poison the (epoch, index) slot.
+        let real = Envelope::vid(
+            Epoch(1),
+            NodeId(2),
+            VidMsg::Chunk {
+                root: enc.root,
+                proof,
+                payload,
+            },
+        );
+        let effs = node.handle_vec(NodeId(2), real, 0);
+        assert!(effs.iter().any(|e| matches!(e, NodeEffect::Send(..))));
+        assert!(effs
+            .iter()
+            .any(|e| matches!(e, NodeEffect::Persist(StoreRecord::Chunk { .. }))));
+    }
+
+    #[test]
+    fn absurd_future_sync_outcome_is_ignored() {
+        // A node in catch-up must not let a peer seed tally state for
+        // epochs far beyond its lookahead window.
+        let cluster = ClusterConfig::new(4);
+        let cfg = NodeConfig::new(cluster.clone(), ProtocolVariant::Dl);
+        let lookahead = cfg.epoch_lookahead;
+        let mut node = Node::new(NodeId(0), cfg, RealBlockCoder::new(&cluster));
+        node.restore(&[StoreRecord::EpochDelivered { epoch: Epoch(1) }]);
+        assert!(node.sync_active());
+        // Drain the post-restore catch-up kick (sync requests + timers) so
+        // the garbage below is judged on its own effects.
+        node.poll_vec(0);
+        // Absurd future epoch, well-formed vector.
+        let env = Envelope::sync(
+            Epoch(1_000_000_000 + lookahead),
+            SyncMsg::Outcome {
+                committed: vec![true; 4],
+            },
+        );
+        let effs = node.handle_vec(NodeId(1), env, 0);
+        assert!(
+            effs.iter().all(|e| matches!(e, NodeEffect::WakeAt(_))),
+            "absurd-future outcome produced effects: {effs:?}"
+        );
+        // In-range epoch, wrong-length vector (claims a 7-node cluster).
+        let env = Envelope::sync(
+            Epoch(2),
+            SyncMsg::Outcome {
+                committed: vec![true; 7],
+            },
+        );
+        let effs = node.handle_vec(NodeId(1), env, 0);
+        assert!(
+            effs.iter().all(|e| matches!(e, NodeEffect::WakeAt(_))),
+            "malformed outcome produced effects: {effs:?}"
+        );
+        assert!(node.sync_active(), "sync aborted by garbage outcome");
+        assert_eq!(node.agreement_frontier(), Epoch(0));
     }
 
     #[test]

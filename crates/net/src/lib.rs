@@ -75,6 +75,8 @@ use dl_store::{ChainStore, FileStore, FsyncPolicy};
 use dl_wire::frame::{encode_frame, FrameDecoder, SegmentBuf};
 use dl_wire::{ClusterConfig, Envelope, Epoch, NodeId, Tx, WireDecode, WireEncode};
 
+pub mod hostile;
+
 /// Transport parameters of one node.
 #[derive(Clone, Debug)]
 pub struct NetConfig {

@@ -29,10 +29,13 @@
 //! outstanding work", which is what [`Simulation::run_until_quiescent`]
 //! reports.
 
+pub mod chaos;
 pub mod fluid;
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+use rand::Rng;
 
 use dl_core::{
     ByzantineBehavior, ByzantineNode, DeliveredBlock, EffectSink, Engine, Node, NodeConfig,
@@ -41,6 +44,10 @@ use dl_core::{
 use dl_store::{ChainStore, MemoryStore};
 use dl_wire::{ClusterConfig, Envelope, Epoch, NodeId, Tx, WireDecode, WireEncode};
 
+pub use chaos::{
+    run_scenario, scenario_from_seed, Auditor, ChaosAction, ChaosOutcome, ChaosPlan, ChaosScenario,
+    Partition, Violation,
+};
 pub use fluid::{BlockStore, FluidCoder};
 
 /// Bandwidth and propagation delay of one directed link.
@@ -74,6 +81,27 @@ pub enum SimNodeKind {
     Mute,
     /// Equivocating disperser/voter (see [`dl_core::byzantine`]).
     Equivocate,
+    /// Withholds its dispersal chunks and votes until the last useful
+    /// moment.
+    DelayRelease,
+    /// Disperses to one peer short of any completing quorum.
+    SelectiveSend,
+    /// Disperses chunks whose Merkle proofs do not verify.
+    GarbageChunks,
+}
+
+impl SimNodeKind {
+    /// The faulty behaviour this slot runs, or `None` for honest slots.
+    fn behavior(self) -> Option<ByzantineBehavior> {
+        match self {
+            SimNodeKind::Honest => None,
+            SimNodeKind::Mute => Some(ByzantineBehavior::Mute),
+            SimNodeKind::Equivocate => Some(ByzantineBehavior::Equivocate),
+            SimNodeKind::DelayRelease => Some(ByzantineBehavior::DelayRelease),
+            SimNodeKind::SelectiveSend => Some(ByzantineBehavior::SelectiveSend),
+            SimNodeKind::GarbageChunks => Some(ByzantineBehavior::GarbageChunks),
+        }
+    }
 }
 
 /// Simulation parameters.
@@ -252,6 +280,8 @@ struct Fabric {
     stores: Vec<Option<MemoryStore>>,
     purged_envelopes: u64,
     purged_bytes: u64,
+    /// The installed fault schedule, if any (see [`Simulation::set_chaos`]).
+    chaos: Option<chaos::ChaosState>,
 }
 
 impl Fabric {
@@ -288,49 +318,138 @@ impl Fabric {
     /// stays flat as bursts grow.
     fn pump_link(&mut self, from: NodeId, to: NodeId) {
         let now = self.now;
-        let link = &mut self.links[from.idx() * self.cfg.cluster.n + to.idx()];
-        if link.busy_until > now {
-            // Busy: make sure the backlog gets pumped when the current
-            // transmission ends.
+        let li = from.idx() * self.cfg.cluster.n + to.idx();
+        let (arrive_at, ready_at) =
+            pump_link_inner(&mut self.links[li], self.chaos.as_mut(), li, from, to, now);
+        if let Some(at) = arrive_at {
+            self.push_event(at, EvKind::Arrive { from, to });
+        }
+        if let Some(at) = ready_at {
+            self.push_event(at, EvKind::LinkReady { from, to });
+        }
+    }
+}
+
+/// Core of [`Fabric::pump_link`], split out so the link and the chaos
+/// state borrow independently of the event heap. Mutates the link (and the
+/// link's fault stream) and returns the `(Arrive, LinkReady)` event times
+/// to schedule, if any.
+fn pump_link_inner(
+    link: &mut Link,
+    mut chaos: Option<&mut chaos::ChaosState>,
+    li: usize,
+    from: NodeId,
+    to: NodeId,
+    now: u64,
+) -> (Option<u64>, Option<u64>) {
+    // A severed link holds its queue — a partition is an outage, not loss —
+    // and retries at the earliest heal time. Envelopes already transmitted
+    // still arrive, like packets on the wire when a cable is cut.
+    if let Some(chaos) = &chaos {
+        if let Some(heal) = chaos.severed_until(from.idx(), to.idx(), now) {
             if !link.queue.is_empty() && !link.ready_scheduled {
                 link.ready_scheduled = true;
-                let at = link.busy_until;
-                self.push_event(at, EvKind::LinkReady { from, to });
+                return (None, Some(heal.max(now + 1)));
             }
-            return;
+            return (None, None);
         }
-        // Fill the frame: at least one envelope, then keep going while the
-        // frame is still under one millisecond of capacity.
-        let budget = link.spec.bytes_per_ms as usize;
-        let mut frame_bytes = 0usize;
-        let mut popped = 0usize;
-        while frame_bytes < budget {
-            let Some(env) = link.queue.pop() else { break };
-            frame_bytes += env.wire_size();
-            link.inflight.push_back((0, env)); // arrival time patched below
-            popped += 1;
+    }
+    if link.busy_until > now {
+        // Busy: make sure the backlog gets pumped when the current
+        // transmission ends.
+        if !link.queue.is_empty() && !link.ready_scheduled {
+            link.ready_scheduled = true;
+            return (None, Some(link.busy_until));
         }
-        if popped == 0 {
-            return;
+        return (None, None);
+    }
+    // Probabilistic faults only apply inside the plan's horizon, so every
+    // scenario ends on a clean network.
+    let mut faulty = chaos.take().filter(|c| c.plan.horizon_ms > now);
+    // Fill the frame: at least one envelope, then keep going while the
+    // frame is still under one millisecond of capacity.
+    let budget = link.spec.bytes_per_ms as usize;
+    let mut frame_bytes = 0usize;
+    let mut popped = 0usize;
+    let start = link.inflight.len();
+    match faulty.as_deref_mut() {
+        None => {
+            while frame_bytes < budget {
+                let Some(env) = link.queue.pop() else { break };
+                frame_bytes += env.wire_size();
+                link.inflight.push_back((0, env)); // arrival patched below
+                popped += 1;
+            }
         }
-        let tx_ms = link.spec.tx_ms(frame_bytes);
-        let arrive_at = now + tx_ms + link.spec.latency_ms;
-        link.busy_until = now + tx_ms;
-        let start = link.inflight.len() - popped;
+        Some(chaos::ChaosState {
+            plan,
+            link_rngs,
+            dropped,
+            duplicated,
+        }) => {
+            let rng = &mut link_rngs[li];
+            while frame_bytes < budget {
+                let Some(env) = link.queue.pop() else { break };
+                frame_bytes += env.wire_size();
+                popped += 1;
+                if plan.drop > 0.0 && rng.gen_bool(plan.drop) {
+                    *dropped += 1;
+                    continue; // the bytes were charged; the payload is lost
+                }
+                if plan.duplicate > 0.0 && rng.gen_bool(plan.duplicate) {
+                    *duplicated += 1;
+                    link.inflight.push_back((0, env.clone()));
+                }
+                link.inflight.push_back((0, env));
+            }
+        }
+    }
+    if popped == 0 {
+        return (None, None);
+    }
+    let tx_ms = link.spec.tx_ms(frame_bytes);
+    link.busy_until = now + tx_ms;
+    let kept = link.inflight.len() - start;
+    let mut events = (None, None);
+    if kept > 0 {
+        let mut arrive_at = now + tx_ms + link.spec.latency_ms;
+        if let Some(chaos::ChaosState {
+            plan, link_rngs, ..
+        }) = faulty
+        {
+            let rng = &mut link_rngs[li];
+            if plan.jitter_ms > 0 {
+                arrive_at += rng.gen_range(0..plan.jitter_ms + 1);
+            }
+            if plan.reorder > 0.0 && kept > 1 && rng.gen_bool(plan.reorder) {
+                // Fisher–Yates over the frame's slice of the FIFO: its
+                // envelopes share one arrival instant, so shuffling
+                // changes handling order without touching timing.
+                for i in (1..kept).rev() {
+                    let j = rng.gen_range(0..i + 1);
+                    link.inflight.swap(start + i, start + j);
+                }
+            }
+        }
+        if start > 0 {
+            // Arrival times in the FIFO must stay monotone (one Arrive
+            // event serves the whole queue): jitter never lets a later
+            // frame overtake the one ahead of it.
+            arrive_at = arrive_at.max(link.inflight[start - 1].0);
+        }
         for slot in link.inflight.iter_mut().skip(start) {
             slot.0 = arrive_at;
         }
-        let schedule_arrive = !link.arrive_scheduled;
-        link.arrive_scheduled = true;
-        let schedule_ready = !link.queue.is_empty() && !link.ready_scheduled;
-        link.ready_scheduled |= schedule_ready;
-        if schedule_arrive {
-            self.push_event(arrive_at, EvKind::Arrive { from, to });
-        }
-        if schedule_ready {
-            self.push_event(now + tx_ms, EvKind::LinkReady { from, to });
+        if !link.arrive_scheduled {
+            link.arrive_scheduled = true;
+            events.0 = Some(arrive_at);
         }
     }
+    if !link.queue.is_empty() && !link.ready_scheduled {
+        link.ready_scheduled = true;
+        events.1 = Some(now + tx_ms);
+    }
+    events
 }
 
 /// The virtual network is one of the two [`Transport`] implementations in
@@ -421,17 +540,9 @@ fn build_engine(
     where
         C: dl_core::BlockCoder + 'static,
     {
-        match kind {
-            SimNodeKind::Honest => Box::new(Node::new(id, cfg, coder)),
-            SimNodeKind::Mute => {
-                Box::new(ByzantineNode::new(id, cfg, coder, ByzantineBehavior::Mute))
-            }
-            SimNodeKind::Equivocate => Box::new(ByzantineNode::new(
-                id,
-                cfg,
-                coder,
-                ByzantineBehavior::Equivocate,
-            )),
+        match kind.behavior() {
+            None => Box::new(Node::new(id, cfg, coder)),
+            Some(behavior) => Box::new(ByzantineNode::new(id, cfg, coder, behavior)),
         }
     }
     let id = NodeId(node as u16);
@@ -482,6 +593,7 @@ impl Simulation {
                 stores: vec![None; n],
                 purged_envelopes: 0,
                 purged_bytes: 0,
+                chaos: None,
             },
             burst: Vec::new(),
             store,
@@ -522,6 +634,23 @@ impl Simulation {
                 self.set_link(node, to, spec);
             }
         }
+    }
+
+    /// Install a seed-driven fault schedule on the link fabric (see
+    /// [`ChaosPlan`]). The same plan over the same scenario replays
+    /// identically, message for message.
+    pub fn set_chaos(&mut self, plan: ChaosPlan) {
+        let n = self.fabric.cfg.cluster.n;
+        self.fabric.chaos = Some(chaos::ChaosState::new(plan, n));
+    }
+
+    /// `(dropped, duplicated)` envelope counts injected by the chaos plan
+    /// so far.
+    pub fn chaos_counters(&self) -> (u64, u64) {
+        self.fabric
+            .chaos
+            .as_ref()
+            .map_or((0, 0), |c| (c.dropped, c.duplicated))
     }
 
     /// Give `node` a simulated disk: a [`MemoryStore`] write-ahead log that

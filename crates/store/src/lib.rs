@@ -63,6 +63,14 @@ pub trait ChainStore: Send {
 
     /// Read back every whole record, in append order.
     fn replay(&self) -> io::Result<Vec<Vec<u8>>>;
+
+    /// Rewrite the log keeping only records for which `keep` returns true,
+    /// preserving order. The predicate sees the raw record bytes (the
+    /// policy — e.g. `dl-core`'s `CompactionPlan` — lives with whoever
+    /// understands them). The rewrite is atomic with respect to crashes
+    /// for file-backed stores: either the old log or the complete new one
+    /// survives, never a mix.
+    fn compact(&mut self, keep: &mut dyn FnMut(&[u8]) -> bool) -> io::Result<()>;
 }
 
 /// When a file-backed store fsyncs.
@@ -132,6 +140,36 @@ impl ChainStore for MemoryStore {
     fn replay(&self) -> io::Result<Vec<Vec<u8>>> {
         Ok(self.records.lock().unwrap().clone())
     }
+
+    fn compact(&mut self, keep: &mut dyn FnMut(&[u8]) -> bool) -> io::Result<()> {
+        self.records.lock().unwrap().retain(|r| keep(r));
+        Ok(())
+    }
+}
+
+/// Why a segment scan stopped before the end of the file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DamageKind {
+    /// The file ends inside a record: the expected shape of a crash
+    /// mid-append. Quietly recoverable — at most the record being written
+    /// was lost.
+    TornTail,
+    /// A *complete* record failed its checksum, or a length header is
+    /// impossible: bytes that were once durable have changed. Recovery
+    /// still truncates (nothing after an untrusted record can be trusted),
+    /// but this is bit rot or external interference, not a crash, and is
+    /// surfaced loudly.
+    Corruption,
+}
+
+/// Where and how a segment scan found damage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TailDamage {
+    pub kind: DamageKind,
+    /// Byte offset of the first untrusted byte (= the new end of log).
+    pub offset: u64,
+    /// Bytes discarded from `offset` to the end of the file.
+    pub lost_bytes: u64,
 }
 
 /// Append-only file-segment [`ChainStore`] (see the crate docs for the
@@ -141,11 +179,17 @@ pub struct FileStore {
     file: File,
     /// Byte offset of the end of the last whole record.
     end: u64,
+    /// Damage found (and truncated away) when the segment was opened.
+    damage: Option<TailDamage>,
 }
 
 impl FileStore {
     /// Open (creating if absent) the segment at `path`, scan it for the
-    /// last whole record and truncate any torn tail.
+    /// last whole record and truncate any torn tail. Mid-log corruption —
+    /// a checksum failure on a *complete* record — also stops the scan
+    /// there and is reported via [`FileStore::tail_damage`], with a
+    /// warning on stderr: everything after an untrusted record is
+    /// untrusted.
     pub fn open(path: impl AsRef<Path>) -> io::Result<FileStore> {
         let path = path.as_ref().to_path_buf();
         if let Some(dir) = path.parent() {
@@ -159,13 +203,32 @@ impl FileStore {
             .open(&path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        let end = scan_whole_records(&bytes, |_| {});
-        if (end as usize) < bytes.len() {
+        let (end, kind) = scan_segment(&bytes, |_| {});
+        let damage = kind.map(|kind| TailDamage {
+            kind,
+            offset: end,
+            lost_bytes: bytes.len() as u64 - end,
+        });
+        if let Some(d) = damage {
+            if d.kind == DamageKind::Corruption {
+                eprintln!(
+                    "dl-store: WARNING: {} is corrupt at byte {}: record fails its checksum; \
+                     replay stops there and {} trailing bytes are discarded",
+                    path.display(),
+                    d.offset,
+                    d.lost_bytes
+                );
+            }
             file.set_len(end)?;
             file.sync_all()?;
         }
         file.seek(SeekFrom::Start(end))?;
-        Ok(FileStore { path, file, end })
+        Ok(FileStore {
+            path,
+            file,
+            end,
+            damage,
+        })
     }
 
     /// The segment's path.
@@ -176,6 +239,11 @@ impl FileStore {
     /// Bytes of durable (whole-record) log.
     pub fn log_bytes(&self) -> u64 {
         self.end
+    }
+
+    /// Damage found at open time, if any (already truncated away).
+    pub fn tail_damage(&self) -> Option<&TailDamage> {
+        self.damage.as_ref()
     }
 }
 
@@ -204,37 +272,79 @@ impl ChainStore for FileStore {
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
         let mut records = Vec::new();
-        scan_whole_records(&bytes, |payload| records.push(payload.to_vec()));
+        scan_segment(&bytes, |payload| records.push(payload.to_vec()));
         Ok(records)
+    }
+
+    fn compact(&mut self, keep: &mut dyn FnMut(&[u8]) -> bool) -> io::Result<()> {
+        let records = self.replay()?;
+        let tmp = self.path.with_extension("compact");
+        {
+            let mut out = FileStore::open(&tmp)?;
+            // A leftover temp file from an interrupted compaction is stale:
+            // start over.
+            out.file.set_len(0)?;
+            out.end = 0;
+            out.file.seek(SeekFrom::Start(0))?;
+            for rec in &records {
+                if keep(rec) {
+                    out.append(rec)?;
+                }
+            }
+            out.file.sync_all()?;
+        }
+        // Atomic cutover: the segment is either the old log or the complete
+        // compacted one, never a mix.
+        std::fs::rename(&tmp, &self.path)?;
+        if let Some(dir) = self.path.parent() {
+            // Make the rename itself durable; best-effort (some filesystems
+            // refuse to open a directory for writing).
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        let reopened = FileStore::open(&self.path)?;
+        self.file = reopened.file;
+        self.end = reopened.end;
+        self.damage = reopened.damage;
+        Ok(())
     }
 }
 
 /// Walk `bytes` record by record, calling `emit` for every whole,
-/// checksum-valid record; returns the byte offset just past the last one
-/// (i.e. where a torn tail, if any, begins).
-fn scan_whole_records(bytes: &[u8], mut emit: impl FnMut(&[u8])) -> u64 {
+/// checksum-valid record. Returns the byte offset just past the last good
+/// record (i.e. where damage, if any, begins) and the classification of
+/// whatever stopped the scan.
+fn scan_segment(bytes: &[u8], mut emit: impl FnMut(&[u8])) -> (u64, Option<DamageKind>) {
     let mut off = 0usize;
-    while bytes.len() - off >= RECORD_HEADER {
+    loop {
+        let remaining = bytes.len() - off;
+        if remaining == 0 {
+            return (off as u64, None);
+        }
+        if remaining < RECORD_HEADER {
+            return (off as u64, Some(DamageKind::TornTail));
+        }
         let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
         let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
         if len > MAX_RECORD_LEN {
-            break;
+            // No append ever wrote such a header: the bytes changed.
+            return (off as u64, Some(DamageKind::Corruption));
         }
         let start = off + RECORD_HEADER;
         let Some(end) = start
             .checked_add(len as usize)
             .filter(|&e| e <= bytes.len())
         else {
-            break;
+            return (off as u64, Some(DamageKind::TornTail));
         };
         let payload = &bytes[start..end];
         if crc32(payload) != crc {
-            break;
+            return (off as u64, Some(DamageKind::Corruption));
         }
         emit(payload);
         off = end;
     }
-    off as u64
 }
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. Small and
@@ -383,6 +493,102 @@ mod tests {
         let store = FileStore::open(&path).unwrap();
         assert_eq!(store.replay().unwrap(), vec![b"good".to_vec()]);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mid_log_corruption_is_classified_and_reported() {
+        let path = tmp_path("midlog");
+        let _ = std::fs::remove_file(&path);
+        let mut store = FileStore::open(&path).unwrap();
+        store.append(b"good").unwrap();
+        store.append(b"flipped").unwrap();
+        store.append(b"after").unwrap();
+        drop(store);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let full_len = bytes.len() as u64;
+        // Flip one bit of the middle record's CRC field.
+        let mid_crc = RECORD_HEADER + 4 + 4;
+        bytes[mid_crc] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let store = FileStore::open(&path).unwrap();
+        assert_eq!(store.replay().unwrap(), vec![b"good".to_vec()]);
+        let damage = store.tail_damage().expect("damage not reported");
+        assert_eq!(damage.kind, DamageKind::Corruption);
+        assert_eq!(damage.offset, (RECORD_HEADER + 4) as u64);
+        assert_eq!(damage.lost_bytes, full_len - damage.offset);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_and_corruption_are_distinguished() {
+        // Torn tail: file ends inside a record.
+        let mut store = MemoryStore::new();
+        store.append(b"x").unwrap();
+        let mut bytes = Vec::new();
+        for rec in [b"aaaa".as_slice(), b"bbbb".as_slice()] {
+            bytes.extend_from_slice(&(rec.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&crc32(rec).to_le_bytes());
+            bytes.extend_from_slice(rec);
+        }
+        let (off, kind) = scan_segment(&bytes[..bytes.len() - 2], |_| {});
+        assert_eq!(kind, Some(DamageKind::TornTail));
+        assert_eq!(off, (RECORD_HEADER + 4) as u64);
+        // A bare header fragment is also a torn tail.
+        let (_, kind) = scan_segment(&bytes[..RECORD_HEADER + 4 + 3], |_| {});
+        assert_eq!(kind, Some(DamageKind::TornTail));
+        // A clean log reports no damage.
+        let (off, kind) = scan_segment(&bytes, |_| {});
+        assert_eq!((off, kind), (bytes.len() as u64, None));
+        // An impossible length header is corruption, not a torn tail.
+        let mut oversize = bytes.clone();
+        oversize[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let (off, kind) = scan_segment(&oversize, |_| {});
+        assert_eq!(kind, Some(DamageKind::Corruption));
+        assert_eq!(off, 0);
+    }
+
+    #[test]
+    fn memory_store_compaction_keeps_order() {
+        let mut store = MemoryStore::new();
+        for rec in [b"a".as_slice(), b"drop", b"b", b"drop", b"c"] {
+            store.append(rec).unwrap();
+        }
+        store.compact(&mut |r| r != b"drop").unwrap();
+        assert_eq!(
+            store.replay().unwrap(),
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]
+        );
+    }
+
+    #[test]
+    fn file_store_compaction_shrinks_and_survives_reopen() {
+        let path = tmp_path("compact");
+        let _ = std::fs::remove_file(&path);
+        let mut store = FileStore::open(&path).unwrap();
+        store.append(b"keep-1").unwrap();
+        store.append(&[0xCD; 4096]).unwrap();
+        store.append(b"keep-2").unwrap();
+        store.sync().unwrap();
+        let before = store.log_bytes();
+        store.compact(&mut |r| r.len() < 100).unwrap();
+        assert!(store.log_bytes() < before, "log did not shrink");
+        assert_eq!(
+            store.replay().unwrap(),
+            vec![b"keep-1".to_vec(), b"keep-2".to_vec()]
+        );
+        assert!(store.tail_damage().is_none());
+        // The compacted store keeps accepting appends, and a reopen sees a
+        // consistent log.
+        store.append(b"keep-3").unwrap();
+        store.sync().unwrap();
+        drop(store);
+        let store = FileStore::open(&path).unwrap();
+        assert_eq!(
+            store.replay().unwrap(),
+            vec![b"keep-1".to_vec(), b"keep-2".to_vec(), b"keep-3".to_vec()]
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("compact"));
     }
 
     #[test]

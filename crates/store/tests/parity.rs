@@ -5,17 +5,22 @@
 use std::collections::VecDeque;
 
 use dl_core::{
-    EngineExt, Node, NodeConfig, NodeEffect, ProtocolVariant, RealBlockCoder, StoreRecord,
+    CompactionPlan, EngineExt, Node, NodeConfig, NodeEffect, ProtocolVariant, RealBlockCoder,
+    StoreRecord,
 };
-use dl_store::{ChainStore, FileStore, MemoryStore};
+use dl_store::{ChainStore, DamageKind, FileStore, MemoryStore};
 use dl_wire::{ClusterConfig, Envelope, NodeId, Tx, WireDecode, WireEncode};
 
-/// Drive a 4-node cluster synchronously, appending every node's WAL
-/// records to the supplied stores (one per node), and return the final
-/// nodes.
-fn run_cluster(stores: &mut [Vec<&mut dyn ChainStore>]) -> Vec<Node<RealBlockCoder>> {
-    let cluster = ClusterConfig::new(4);
-    let cfg = NodeConfig::new(cluster.clone(), ProtocolVariant::Dl);
+/// Drive a 4-node cluster synchronously with `cfg`, appending every node's
+/// WAL records to the supplied stores (one per node), and return the final
+/// nodes. One transaction is submitted per round, rotating proposers, with
+/// 250 virtual ms per round — enough for at least one epoch each.
+fn run_cluster_cfg(
+    stores: &mut [Vec<&mut dyn ChainStore>],
+    cfg: &NodeConfig,
+    rounds: u64,
+) -> Vec<Node<RealBlockCoder>> {
+    let cluster = cfg.cluster.clone();
     let mut nodes: Vec<Node<RealBlockCoder>> = (0..4)
         .map(|i| Node::new(NodeId(i), cfg.clone(), RealBlockCoder::new(&cluster)))
         .collect();
@@ -38,24 +43,31 @@ fn run_cluster(stores: &mut [Vec<&mut dyn ChainStore>]) -> Vec<Node<RealBlockCod
             }
         }
     };
-    for (i, node) in nodes.iter_mut().enumerate() {
-        if i % 2 == 0 {
-            let effs = node.submit_tx_vec(Tx::synthetic(NodeId(i as u16), i as u64, 0, 120), 0);
-            sink(i, effs, &mut wire, stores);
-        }
-    }
-    for _ in 0..80 {
-        now += 10;
-        for (i, node) in nodes.iter_mut().enumerate() {
-            let effs = node.poll_vec(now);
-            sink(i, effs, &mut wire, stores);
-        }
-        while let Some((from, to, env)) = wire.pop_front() {
-            let effs = nodes[to.idx()].handle_vec(from, env, now);
-            sink(to.idx(), effs, &mut wire, stores);
+    for round in 0..rounds {
+        let i = (round % 4) as usize;
+        let effs = nodes[i].submit_tx_vec(Tx::synthetic(NodeId(i as u16), round, now, 120), now);
+        sink(i, effs, &mut wire, stores);
+        for _ in 0..25 {
+            now += 10;
+            for (i, node) in nodes.iter_mut().enumerate() {
+                let effs = node.poll_vec(now);
+                sink(i, effs, &mut wire, stores);
+            }
+            while let Some((from, to, env)) = wire.pop_front() {
+                let effs = nodes[to.idx()].handle_vec(from, env, now);
+                sink(to.idx(), effs, &mut wire, stores);
+            }
         }
     }
     nodes
+}
+
+/// The original two-epoch workload: transactions from the even nodes at
+/// t=0, then 800 virtual ms to quiescence.
+fn run_cluster(stores: &mut [Vec<&mut dyn ChainStore>]) -> Vec<Node<RealBlockCoder>> {
+    let cluster = ClusterConfig::new(4);
+    let cfg = NodeConfig::new(cluster, ProtocolVariant::Dl);
+    run_cluster_cfg(stores, &cfg, 3)
 }
 
 fn decode_all(raw: &[Vec<u8>]) -> Vec<StoreRecord> {
@@ -64,12 +76,15 @@ fn decode_all(raw: &[Vec<u8>]) -> Vec<StoreRecord> {
         .collect()
 }
 
-fn restored(records: &[StoreRecord]) -> Node<RealBlockCoder> {
-    let cluster = ClusterConfig::new(4);
-    let cfg = NodeConfig::new(cluster.clone(), ProtocolVariant::Dl);
-    let mut node = Node::new(NodeId(3), cfg, RealBlockCoder::new(&cluster));
+fn restored_with(records: &[StoreRecord], cfg: &NodeConfig) -> Node<RealBlockCoder> {
+    let mut node = Node::new(NodeId(3), cfg.clone(), RealBlockCoder::new(&cfg.cluster));
     node.restore(records);
     node
+}
+
+fn restored(records: &[StoreRecord]) -> Node<RealBlockCoder> {
+    let cfg = NodeConfig::new(ClusterConfig::new(4), ProtocolVariant::Dl);
+    restored_with(records, &cfg)
 }
 
 #[test]
@@ -163,6 +178,109 @@ fn torn_file_tail_degrades_to_a_clean_prefix() {
     assert_eq!(torn[..], full[..full.len() - 1], "prefix must be untouched");
     // The surviving prefix still decodes and restores cleanly.
     let node = restored(&decode_all(&torn));
+    assert!(node.sync_active());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compacted_log_replays_to_the_same_state() {
+    // A long run with a tight GC window, so plenty of chunk custody falls
+    // below the delivered horizon — then compaction must shrink the log
+    // without changing anything a restore can observe.
+    let dir = std::env::temp_dir().join(format!("dl-store-compact-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = NodeConfig::new(ClusterConfig::new(4), ProtocolVariant::Dl);
+    cfg.epoch_lookahead = 2;
+    let mut mem: Vec<MemoryStore> = (0..4).map(|_| MemoryStore::new()).collect();
+    let mut file: Vec<FileStore> = (0..4)
+        .map(|i| FileStore::open(dir.join(format!("node{i}.log"))).expect("open"))
+        .collect();
+    {
+        let mut stores: Vec<Vec<&mut dyn ChainStore>> = Vec::new();
+        for (m, f) in mem.iter_mut().zip(file.iter_mut()) {
+            stores.push(vec![m as &mut dyn ChainStore, f as &mut dyn ChainStore]);
+        }
+        run_cluster_cfg(&mut stores, &cfg, 24);
+    }
+    file[3].sync().expect("sync");
+    let full = decode_all(&mem[3].replay().unwrap());
+    let plan = CompactionPlan::build(&full, cfg.epoch_lookahead);
+    assert!(
+        plan.floor().0 > 1,
+        "workload never crossed the GC horizon (floor {:?})",
+        plan.floor()
+    );
+    let dropped = full.iter().filter(|r| !plan.keep(r)).count();
+    assert!(dropped > 0, "no chunk ever became compactable");
+    let before = file[3].log_bytes();
+    file[3]
+        .compact(&mut |raw| plan.keep_raw(raw))
+        .expect("compact");
+    assert!(
+        file[3].log_bytes() < before,
+        "compaction did not shrink the log ({before} bytes before and after)"
+    );
+    let compacted = decode_all(&file[3].replay().unwrap());
+    assert_eq!(compacted.len(), full.len() - dropped);
+    // Restoring from the compacted log is indistinguishable from the full
+    // one: same durable horizon, same derived cursors, and the identical
+    // effect stream on the first post-restart poll.
+    let mut from_full = restored_with(&full, &cfg);
+    let mut from_compacted = restored_with(&compacted, &cfg);
+    assert_eq!(
+        from_full.delivered_frontier(),
+        from_compacted.delivered_frontier()
+    );
+    assert_eq!(
+        from_full.agreement_frontier(),
+        from_compacted.agreement_frontier()
+    );
+    assert_eq!(
+        from_full.poll_vec(10_000),
+        from_compacted.poll_vec(10_000),
+        "restored nodes diverged on their first poll"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_log_corruption_stops_replay_at_the_first_bad_record() {
+    let dir = std::env::temp_dir().join(format!("dl-store-midcrc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut mem: Vec<MemoryStore> = (0..4).map(|_| MemoryStore::new()).collect();
+    let mut file: Vec<FileStore> = (0..4)
+        .map(|i| FileStore::open(dir.join(format!("node{i}.log"))).expect("open"))
+        .collect();
+    {
+        let mut stores: Vec<Vec<&mut dyn ChainStore>> = Vec::new();
+        for (m, f) in mem.iter_mut().zip(file.iter_mut()) {
+            stores.push(vec![m as &mut dyn ChainStore, f as &mut dyn ChainStore]);
+        }
+        run_cluster(&mut stores);
+    }
+    file[3].sync().expect("sync");
+    drop(file);
+    // Flip one bit of the CRC field of a record in the *middle* of the log.
+    let full = mem[3].replay().unwrap();
+    assert!(full.len() >= 4, "workload too small to have a middle");
+    let bad_index = full.len() / 2;
+    let bad_offset: u64 = full[..bad_index].iter().map(|r| 8 + r.len() as u64).sum();
+    let path = dir.join("node3.log");
+    let mut bytes = std::fs::read(&path).expect("read log");
+    bytes[bad_offset as usize + 4] ^= 0x40;
+    std::fs::write(&path, &bytes).expect("write corrupted log");
+    // Replay stops at the first bad record — everything after it is
+    // untrusted even though it checksums fine — and the damage is
+    // surfaced as corruption, not mistaken for a crash's torn tail.
+    let reopened = FileStore::open(&path).expect("reopen corrupt log");
+    let survived = reopened.replay().expect("replay");
+    assert_eq!(survived[..], full[..bad_index], "bad prefix");
+    let damage = reopened.tail_damage().expect("corruption not reported");
+    assert_eq!(damage.kind, DamageKind::Corruption);
+    assert_eq!(damage.offset, bad_offset);
+    assert_eq!(damage.lost_bytes, bytes.len() as u64 - bad_offset);
+    // The surviving prefix still restores a usable node.
+    let node = restored(&decode_all(&survived));
     assert!(node.sync_active());
     let _ = std::fs::remove_dir_all(&dir);
 }
