@@ -26,6 +26,8 @@
 //! The test suite checks all three across randomized schedules and Byzantine
 //! behaviours (mute, equivocating, value-flipping adversaries).
 
+#![forbid(unsafe_code)]
+
 pub mod coin;
 
 use coin::CommonCoin;

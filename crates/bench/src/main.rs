@@ -26,6 +26,8 @@
 //! prior trajectory file and **fails (exit 1) on a regression** beyond
 //! the tolerance (default 30%) — the CI perf gate.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use dl_core::ProtocolVariant;

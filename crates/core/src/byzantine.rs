@@ -288,6 +288,9 @@ impl<C: BlockCoder> Engine for ByzantineNode<C> {
         }
         self.attacked_up_to = epoch;
         match self.behavior {
+            // Mute returns from `handle` before reaching the attack
+            // dispatch; hitting this arm means that early-return was lost.
+            // dl-lint: allow(panic-path): unreachable by construction
             ByzantineBehavior::Mute => unreachable!(),
             ByzantineBehavior::Equivocate => self.attack(epoch, sink),
             ByzantineBehavior::DelayRelease => self.attack_delay_release(epoch, now, sink),

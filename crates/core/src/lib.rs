@@ -75,6 +75,8 @@
 //! assert!(nodes.iter().all(|n| n.stats().unwrap().txs_delivered == 1));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod byzantine;
 mod coder;
 mod engine;

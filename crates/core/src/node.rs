@@ -465,6 +465,9 @@ impl<C: BlockCoder> Node<C> {
                 from,
                 msg,
             },
+            // The match above this one consumes every Sync message; a Sync
+            // reaching this arm is a routing bug worth crashing loudly on.
+            // dl-lint: allow(panic-path): unreachable by construction
             ProtoMsg::Sync(_) => unreachable!("sync handled above"),
         });
     }

@@ -116,7 +116,7 @@ pub struct CompactionPlan {
     /// Epochs strictly below this are candidates for chunk dropping.
     floor: u64,
     /// `(epoch, proposer)` slots with a durable `Delivered` record.
-    delivered: std::collections::HashSet<(u64, u16)>,
+    delivered: std::collections::BTreeSet<(u64, u16)>,
 }
 
 impl CompactionPlan {
@@ -124,7 +124,7 @@ impl CompactionPlan {
     /// `NodeConfig` the log's owner runs with.
     pub fn build(records: &[StoreRecord], epoch_lookahead: u64) -> CompactionPlan {
         let mut horizon = 0u64;
-        let mut delivered = std::collections::HashSet::new();
+        let mut delivered = std::collections::BTreeSet::new();
         for rec in records {
             match rec {
                 StoreRecord::EpochDelivered { epoch } => horizon = horizon.max(epoch.0),

@@ -284,6 +284,10 @@ pub(crate) mod kernel {
 
         /// Byte shuffle turning four little-endian u32 loads into the
         /// big-endian words FIPS 180-4 reads.
+        ///
+        /// # Safety
+        /// Requires SSE2, which the callers' `#[target_feature]` sets
+        /// imply and which is baseline on `x86_64` anyway.
         #[inline]
         unsafe fn bswap_mask() -> __m128i {
             _mm_set_epi64x(
@@ -312,6 +316,10 @@ pub(crate) mod kernel {
             /// Next four schedule words from the previous sixteen
             /// (`v0` oldest): `msg1` adds σ₀, `alignr` supplies w[i−7],
             /// `msg2` folds in σ₁ including the cross-lane dependency.
+            ///
+            /// # Safety
+            /// Only callable from the enclosing `#[target_feature]` body,
+            /// so SHA and SSSE3 are known to be active.
             #[inline(always)]
             unsafe fn schedule(v0: __m128i, v1: __m128i, v2: __m128i, v3: __m128i) -> __m128i {
                 let t1 = _mm_sha256msg1_epu32(v0, v1);
@@ -322,6 +330,10 @@ pub(crate) mod kernel {
 
             /// Four rounds: lanes 0,1 of `wk` feed the first `rnds2`,
             /// lanes 2,3 (moved down) the second.
+            ///
+            /// # Safety
+            /// Only callable from the enclosing `#[target_feature]` body,
+            /// so the SHA round intrinsics are known to be available.
             #[inline(always)]
             unsafe fn rounds4(abef: &mut __m128i, cdgh: &mut __m128i, wk: __m128i) {
                 *cdgh = _mm_sha256rnds2_epu32(*cdgh, *abef, wk);
@@ -380,12 +392,20 @@ pub(crate) mod kernel {
 
         /// `x >>> R` on four lanes (`L` must be `32 − R`; the intrinsic
         /// shift counts must be standalone const arguments).
+        ///
+        /// # Safety
+        /// Requires SSE2 (baseline on `x86_64`); callers sit inside
+        /// `#[target_feature]` kernels that guarantee it.
         #[inline(always)]
         unsafe fn ror32<const R: i32, const L: i32>(x: __m128i) -> __m128i {
             _mm_or_si128(_mm_srli_epi32(x, R), _mm_slli_epi32(x, L))
         }
 
         /// σ₀(x) = ror7 ⊕ ror18 ⊕ shr3, four lanes at once.
+        ///
+        /// # Safety
+        /// Same contract as [`ror32`]: SSE2, guaranteed by the callers'
+        /// `#[target_feature]` kernels.
         #[inline(always)]
         unsafe fn sigma0v(x: __m128i) -> __m128i {
             _mm_xor_si128(
@@ -395,6 +415,10 @@ pub(crate) mod kernel {
         }
 
         /// σ₁(x) = ror17 ⊕ ror19 ⊕ shr10, four lanes at once.
+        ///
+        /// # Safety
+        /// Same contract as [`ror32`]: SSE2, guaranteed by the callers'
+        /// `#[target_feature]` kernels.
         #[inline(always)]
         unsafe fn sigma1v(x: __m128i) -> __m128i {
             _mm_xor_si128(

@@ -760,6 +760,8 @@ mod tests {
         for i in 0..9 {
             let view = coded.chunk(i);
             assert_eq!(view.len(), shard_len);
+            // SAFETY: in-bounds pointer arithmetic over the arena
+            // allocation; the result is compared, never dereferenced.
             assert_eq!(view.as_ref().as_ptr(), unsafe { base.add(i * shard_len) });
         }
     }

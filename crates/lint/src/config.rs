@@ -1,0 +1,205 @@
+//! Allowlist handling: `lint.toml` entries and inline `dl-lint: allow`.
+//!
+//! Both forms carry a **mandatory justification** — an allow without a
+//! reason is itself reported as a violation, so every suppression in the
+//! tree documents *why* the invariant does not apply.
+//!
+//! `lint.toml` (workspace root) is parsed as a strict line-based subset of
+//! TOML — `[[allow]]` tables with `key = "value"` pairs only — because the
+//! workspace is offline/vendored and must not depend on a toml crate:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "panic-path"            # mandatory: rule id
+//! path = "crates/core/src/"      # mandatory: path prefix
+//! pattern = ".expect("           # optional: substring the line must contain
+//! reason = "why this is sound"   # mandatory: non-empty justification
+//! ```
+//!
+//! The inline form suppresses a single line (itself, or the next code
+//! line when the comment stands alone):
+//!
+//! ```text
+//! // dl-lint: allow(panic-path): poisoned lock means a prior panic
+//! ```
+
+/// One `[[allow]]` entry from `lint.toml`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path_prefix: String,
+    pub pattern: Option<String>,
+    pub reason: String,
+    /// `lint.toml` line the entry starts on, for error reporting.
+    pub line: usize,
+}
+
+/// Parsed allowlist configuration.
+#[derive(Debug, Default)]
+pub struct Config {
+    pub allows: Vec<AllowEntry>,
+}
+
+impl Config {
+    /// Parse `lint.toml` text. Returns `Err` with a human-readable message
+    /// on malformed entries (unknown keys, missing rule/path/reason).
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut allows: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<AllowEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(entry) = current.take() {
+                    finish_entry(entry, &mut allows)?;
+                }
+                current = Some(AllowEntry {
+                    rule: String::new(),
+                    path_prefix: String::new(),
+                    pattern: None,
+                    reason: String::new(),
+                    line: lineno,
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("lint.toml:{lineno}: expected `key = \"value\"`"));
+            };
+            let Some(entry) = current.as_mut() else {
+                return Err(format!(
+                    "lint.toml:{lineno}: `{}` outside an [[allow]] table",
+                    key.trim()
+                ));
+            };
+            let value = value.trim();
+            let value = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| format!("lint.toml:{lineno}: value must be double-quoted"))?;
+            match key.trim() {
+                "rule" => entry.rule = value.to_string(),
+                "path" => entry.path_prefix = value.to_string(),
+                "pattern" => entry.pattern = Some(value.to_string()),
+                "reason" => entry.reason = value.to_string(),
+                other => {
+                    return Err(format!("lint.toml:{lineno}: unknown key `{other}`"));
+                }
+            }
+        }
+        if let Some(entry) = current.take() {
+            finish_entry(entry, &mut allows)?;
+        }
+        Ok(Config { allows })
+    }
+
+    /// Does any `lint.toml` entry allow `rule` on `path`:`line_text`?
+    pub fn allows(&self, rule: &str, path: &str, line_text: &str) -> bool {
+        self.allows.iter().any(|a| {
+            a.rule == rule
+                && path.starts_with(&a.path_prefix)
+                && a.pattern
+                    .as_ref()
+                    .is_none_or(|p| line_text.contains(p.as_str()))
+        })
+    }
+}
+
+fn finish_entry(entry: AllowEntry, allows: &mut Vec<AllowEntry>) -> Result<(), String> {
+    if entry.rule.is_empty() {
+        return Err(format!(
+            "lint.toml:{}: [[allow]] missing `rule`",
+            entry.line
+        ));
+    }
+    if entry.path_prefix.is_empty() {
+        return Err(format!(
+            "lint.toml:{}: [[allow]] missing `path`",
+            entry.line
+        ));
+    }
+    if entry.reason.trim().is_empty() {
+        return Err(format!(
+            "lint.toml:{}: [[allow]] for `{}` has no justification (`reason`)",
+            entry.line, entry.rule
+        ));
+    }
+    allows.push(entry);
+    Ok(())
+}
+
+/// Inline allow state for one comment: which rule, and whether it carried
+/// a justification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InlineAllow {
+    pub rule: String,
+    pub justified: bool,
+}
+
+/// Parse every `dl-lint: allow` marker (with rule name and optional
+/// trailing reason) in a comment.
+pub fn parse_inline(comment: &str) -> Vec<InlineAllow> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("dl-lint: allow(") {
+        let after = &rest[pos + "dl-lint: allow(".len()..];
+        let Some(close) = after.find(')') else {
+            break;
+        };
+        let rule = after[..close].trim().to_string();
+        let tail = &after[close + 1..];
+        let justified = tail.strip_prefix(':').is_some_and(|r| !r.trim().is_empty());
+        if !rule.is_empty() {
+            out.push(InlineAllow { rule, justified });
+        }
+        rest = tail;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_matches() {
+        let cfg = Config::parse(
+            "# comment\n[[allow]]\nrule = \"panic-path\"\npath = \"crates/core/src/\"\n\
+             pattern = \".expect(\"\nreason = \"documented invariants\"\n",
+        )
+        .expect("parse");
+        assert_eq!(cfg.allows.len(), 1);
+        assert!(cfg.allows("panic-path", "crates/core/src/node.rs", "x.expect(\"y\")"));
+        assert!(!cfg.allows("panic-path", "crates/core/src/node.rs", "x.unwrap()"));
+        assert!(!cfg.allows("determinism", "crates/core/src/node.rs", "x.expect(\"y\")"));
+        assert!(!cfg.allows("panic-path", "crates/net/src/lib.rs", "x.expect(\"y\")"));
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let err = Config::parse("[[allow]]\nrule = \"x\"\npath = \"y\"\n").unwrap_err();
+        assert!(err.contains("justification"), "{err}");
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let err =
+            Config::parse("[[allow]]\nrule = \"x\"\npath = \"y\"\nreason = \"z\"\nfoo = \"1\"\n")
+                .unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn inline_allow_with_and_without_reason() {
+        let v = parse_inline(" dl-lint: allow(determinism): iteration order never observed");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "determinism");
+        assert!(v[0].justified);
+        let v = parse_inline(" dl-lint: allow(determinism)");
+        assert!(!v[0].justified);
+        let v = parse_inline(" dl-lint: allow(determinism):   ");
+        assert!(!v[0].justified);
+    }
+}

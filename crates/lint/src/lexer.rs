@@ -1,0 +1,515 @@
+//! A minimal Rust lexer for line-oriented static analysis.
+//!
+//! The rules in [`crate::rules`] are textual, so the one job of this module
+//! is to make text-level matching *sound*: a banned token inside a string
+//! literal, a comment, or a `#[cfg(test)]` module must never fire, and a
+//! `// SAFETY:` comment must be recognised as a comment even when the line
+//! also carries code. To that end every source file is split into
+//! [`Line`]s carrying three views:
+//!
+//! * `code` — the line with comment text and string/char literal *contents*
+//!   blanked to spaces (delimiters are kept so tokens cannot merge across
+//!   a removed literal);
+//! * `comment` — the concatenated comment text of the line (line comments,
+//!   doc comments, and any block-comment fragments crossing the line);
+//! * `in_test` — whether the line sits inside a `#[cfg(test)]`-gated item
+//!   or a `mod tests { .. }` body, tracked by brace depth.
+//!
+//! The lexer understands the token shapes that trip naive scanners: nested
+//! block comments, raw strings with arbitrary `#` fences (`r##"…"##`), byte
+//! and byte-raw strings, char literals vs. lifetimes (`'a'` vs. `'a`), and
+//! escape sequences. It does not build an AST — brace depth over the code
+//! view is enough scoping for the invariants we enforce.
+
+/// One source line, split into analyzable views.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// Code view: comments and literal contents blanked with spaces.
+    pub code: String,
+    /// Comment view: the text of every comment fragment on this line.
+    pub comment: String,
+    /// Whether this line is inside test-gated code.
+    pub in_test: bool,
+}
+
+/// A lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, used for crate scoping and reporting.
+    pub path: String,
+    pub lines: Vec<Line>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth (Rust block comments nest).
+    BlockComment(u32),
+    /// `true` while consuming an escape sequence.
+    Str(bool),
+    /// Fence size: number of `#` after the closing quote.
+    RawStr(u32),
+    Char(bool),
+}
+
+/// Split `text` into code/comment views, line by line.
+fn split_views(text: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            out.push((std::mem::take(&mut code), std::mem::take(&mut comment)));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                }
+                'r' | 'b' if is_raw_string_start(&chars, i) => {
+                    // Consume the prefix (`r`, `br`, `rb`) and fence.
+                    let (fence, consumed) = raw_string_fence(&chars, i);
+                    for _ in 0..consumed {
+                        code.push(chars[i]);
+                        i += 1;
+                    }
+                    state = State::RawStr(fence);
+                }
+                '"' => {
+                    code.push('"');
+                    state = State::Str(false);
+                    i += 1;
+                }
+                '\'' => {
+                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                    let is_lifetime = matches!(next, Some(n) if n.is_alphanumeric() || n == '_')
+                        && chars.get(i + 2) != Some(&'\'');
+                    code.push('\'');
+                    i += 1;
+                    if !is_lifetime {
+                        state = State::Char(false);
+                    }
+                }
+                _ => {
+                    code.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    comment.push_str("/*");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    comment.push_str("*/");
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str(escaped) => {
+                if escaped {
+                    state = State::Str(false);
+                    code.push(' ');
+                } else if c == '\\' {
+                    state = State::Str(true);
+                    code.push(' ');
+                } else if c == '"' {
+                    state = State::Code;
+                    code.push('"');
+                } else {
+                    code.push(' ');
+                }
+                i += 1;
+            }
+            State::RawStr(fence) => {
+                if c == '"' && closes_raw_string(&chars, i, fence) {
+                    code.push('"');
+                    for _ in 0..fence {
+                        code.push('#');
+                    }
+                    i += 1 + fence as usize;
+                    state = State::Code;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Char(escaped) => {
+                if escaped {
+                    state = State::Char(false);
+                    code.push(' ');
+                } else if c == '\\' {
+                    state = State::Char(true);
+                    code.push(' ');
+                } else if c == '\'' {
+                    state = State::Code;
+                    code.push('\'');
+                } else {
+                    code.push(' ');
+                }
+                i += 1;
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        out.push((code, comment));
+    }
+    out
+}
+
+/// Is `chars[i..]` the start of a raw (or byte/byte-raw) string literal?
+/// Must not fire on identifiers ending in `r`/`b` — the caller only asks
+/// when the previous code char is a non-identifier char.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // Reject mid-identifier positions: `var"x"` is not a raw string.
+    if i > 0 {
+        let p = chars[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    let mut saw_r = false;
+    // Accept prefixes r, br, rb, b (b alone only directly before a quote).
+    for _ in 0..2 {
+        match chars.get(j) {
+            Some('r') => {
+                saw_r = true;
+                j += 1;
+            }
+            Some('b') => j += 1,
+            _ => break,
+        }
+    }
+    // Skip the fence.
+    while chars.get(j) == Some(&'#') {
+        if !saw_r {
+            return false; // `b#` is not a literal prefix
+        }
+        j += 1;
+    }
+    chars.get(j) == Some(&'"') && (saw_r || j > i)
+}
+
+/// Fence size and prefix length (`r##"` → fence 2, consumed 4).
+fn raw_string_fence(chars: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    while matches!(chars.get(j), Some('r') | Some('b')) {
+        j += 1;
+    }
+    let mut fence = 0u32;
+    while chars.get(j) == Some(&'#') {
+        fence += 1;
+        j += 1;
+    }
+    // `+ 1` for the opening quote itself.
+    (fence, j - i + 1)
+}
+
+/// Does the `"` at `chars[i]` close a raw string with this fence?
+fn closes_raw_string(chars: &[char], i: usize, fence: u32) -> bool {
+    (1..=fence as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Normalize a code line for attribute matching: drop all whitespace.
+fn squeeze(s: &str) -> String {
+    s.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+/// Mark lines that belong to test-gated code.
+///
+/// Two triggers, both evaluated over the *code* view:
+/// * a `#[cfg(test)]` (or `#[cfg(any(test,…))]`) attribute gates the next
+///   brace-delimited item — everything up to and including its closing
+///   brace is test code (an attribute on a `mod tests;` declaration with
+///   no body gates nothing in this file);
+/// * a `mod tests {` / `mod test {` item, with or without the attribute.
+fn mark_tests(lines: &mut [Line]) {
+    // Depth at which each test region opened; lines are test code while
+    // this stack is non-empty.
+    let mut region_stack: Vec<i32> = Vec::new();
+    let mut depth: i32 = 0;
+    // Set when a cfg(test) attribute was seen and we are waiting for the
+    // gated item's opening brace (or a `;` ending a bodiless item).
+    let mut pending_attr = false;
+    for line in lines.iter_mut() {
+        let squeezed = squeeze(&line.code);
+        if squeezed.contains("#[cfg(test)]") || squeezed.contains("#[cfg(any(test") {
+            pending_attr = true;
+        }
+        let opens_mod_tests = squeezed.contains("modtests{") || squeezed.contains("modtest{");
+        let mut line_is_test = !region_stack.is_empty() || pending_attr || opens_mod_tests;
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending_attr || (opens_mod_tests && region_stack.is_empty()) {
+                        // The region closes when depth drops back below
+                        // the depth at which this brace opened.
+                        region_stack.push(depth);
+                        pending_attr = false;
+                        line_is_test = true;
+                    }
+                }
+                '}' => {
+                    if region_stack.last() == Some(&depth) {
+                        region_stack.pop();
+                    }
+                    depth -= 1;
+                }
+                ';' if pending_attr && region_stack.is_empty() => {
+                    // `#[cfg(test)] mod tests;` — the body lives in another
+                    // file; nothing in this one is gated.
+                    pending_attr = false;
+                }
+                _ => {}
+            }
+        }
+        line.in_test = line_is_test || !region_stack.is_empty();
+    }
+}
+
+/// Paths that are test or harness code in their entirety.
+pub fn path_is_test(path: &str) -> bool {
+    path.contains("/tests/")
+        || path.ends_with("/tests.rs")
+        || path.contains("/examples/")
+        || path.contains("/benches/")
+}
+
+/// Lex `text` into a [`SourceFile`].
+pub fn lex(path: &str, text: &str) -> SourceFile {
+    let file_test = path_is_test(path);
+    let mut lines: Vec<Line> = split_views(text)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (code, comment))| Line {
+            number: i + 1,
+            code,
+            comment,
+            in_test: file_test,
+        })
+        .collect();
+    if !file_test {
+        mark_tests(&mut lines);
+    }
+    SourceFile {
+        path: path.to_string(),
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_view(text: &str) -> Vec<String> {
+        lex("crates/x/src/lib.rs", text)
+            .lines
+            .into_iter()
+            .map(|l| l.code)
+            .collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped_from_code() {
+        let v = code_view("let x = 1; // HashMap here\n");
+        assert!(!v[0].contains("HashMap"));
+        assert!(v[0].contains("let x = 1;"));
+    }
+
+    #[test]
+    fn comment_text_is_preserved_in_comment_view() {
+        let f = lex("crates/x/src/lib.rs", "unsafe { f() } // SAFETY: fine\n");
+        assert!(f.lines[0].comment.contains("SAFETY"));
+        assert!(f.lines[0].code.contains("unsafe"));
+    }
+
+    #[test]
+    fn string_literal_contents_are_blanked() {
+        let v = code_view("let s = \"unsafe HashMap\"; let t = 2;\n");
+        assert!(!v[0].contains("HashMap"));
+        assert!(!v[0].contains("unsafe"));
+        assert!(v[0].contains("let t = 2;"));
+        // Delimiters survive so tokens cannot merge across the literal.
+        assert_eq!(v[0].matches('"').count(), 2);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_terminate_string() {
+        let v = code_view(r#"let s = "a\"unsafe"; let u = 3;"#);
+        assert!(!v[0].contains("unsafe"));
+        assert!(v[0].contains("let u = 3;"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences_are_blanked() {
+        let v = code_view("let s = r##\"unsafe \"# HashMap\"##; let k = 4;\n");
+        assert!(
+            !v[0].contains("unsafe"),
+            "raw string contents leaked: {}",
+            v[0]
+        );
+        assert!(!v[0].contains("HashMap"));
+        assert!(v[0].contains("let k = 4;"));
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings_are_blanked() {
+        let v = code_view("let a = b\"unsafe\"; let b2 = br#\"HashMap\"#; let z = 5;\n");
+        assert!(!v[0].contains("unsafe"));
+        assert!(!v[0].contains("HashMap"));
+        assert!(v[0].contains("let z = 5;"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        let v = code_view("let var = wire_size(x); let w = 6;\n");
+        assert!(v[0].contains("wire_size"));
+        assert!(v[0].contains("let w = 6;"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let text = "/* outer /* inner unsafe */ still comment HashMap */ let y = 7;\n";
+        let v = code_view(text);
+        assert!(!v[0].contains("unsafe"));
+        assert!(!v[0].contains("HashMap"));
+        assert!(v[0].contains("let y = 7;"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let v = code_view("let a = 1; /* start\nunsafe HashMap\nend */ let b = 2;\n");
+        assert!(v[0].contains("let a = 1;"));
+        assert!(!v[1].contains("unsafe"));
+        assert!(v[2].contains("let b = 2;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        // `'"'` is a char literal holding a quote: must not open a string.
+        let v = code_view("let q = '\"'; let s = \"HashMap\"; let l: &'static str = s;\n");
+        assert!(!v[0].contains("HashMap"));
+        assert!(v[0].contains("&'static str"));
+        let v = code_view(r"let e = '\''; let after = 8;");
+        assert!(v[0].contains("let after = 8;"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let text = "\
+fn real() { let a = 1; }
+#[cfg(test)]
+mod tests {
+    fn t() { let h = 2; }
+}
+fn real2() { let b = 3; }
+";
+        let f = lex("crates/x/src/lib.rs", text);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test, "attribute line itself is test-gated");
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test, "code after the module is live again");
+    }
+
+    #[test]
+    fn cfg_test_fn_is_marked() {
+        let text = "\
+#[cfg(test)]
+fn helper() {
+    body();
+}
+fn live() {}
+";
+        let f = lex("crates/x/src/lib.rs", text);
+        assert!(f.lines[0].in_test);
+        assert!(f.lines[2].in_test);
+        assert!(!f.lines[4].in_test);
+    }
+
+    #[test]
+    fn bodiless_cfg_test_mod_gates_nothing_here() {
+        let text = "\
+#[cfg(test)]
+mod tests;
+fn live() { x(); }
+";
+        let f = lex("crates/x/src/lib.rs", text);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn nested_braces_inside_test_mod_stay_test() {
+        let text = "\
+#[cfg(test)]
+mod tests {
+    fn a() { if x { y(); } }
+    struct S { f: u8 }
+}
+fn live() {}
+";
+        let f = lex("crates/x/src/lib.rs", text);
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn tests_dir_files_are_test_scoped_entirely() {
+        let f = lex("crates/x/tests/integration.rs", "fn f() { u(); }\n");
+        assert!(f.lines[0].in_test);
+        let f = lex("crates/x/src/tests.rs", "fn f() { u(); }\n");
+        assert!(f.lines[0].in_test);
+    }
+
+    #[test]
+    fn brace_in_string_does_not_break_test_scoping() {
+        let text = "\
+#[cfg(test)]
+mod tests {
+    const S: &str = \"}\";
+    fn t() {}
+}
+fn live() {}
+";
+        let f = lex("crates/x/src/lib.rs", text);
+        assert!(f.lines[3].in_test, "brace inside a literal closed the mod");
+        assert!(!f.lines[5].in_test);
+    }
+}

@@ -1,0 +1,232 @@
+//! `dl-lint` — the workspace's in-tree static analysis pass.
+//!
+//! The deterministic simulator, the chaos engine's reproducing-seed
+//! guarantee, and the write-ahead recovery path all rest on *code*
+//! invariants that the compiler and clippy cannot express: no
+//! nondeterminism sources in seed-reproducible crates, no IO in the
+//! sans-IO engine, a `SAFETY` comment on every `unsafe` site, no panic
+//! paths in engine code, and `persist`-before-`send` ordering. This
+//! binary enforces them over the source text. It is dependency-free by
+//! necessity (the workspace builds offline — no syn, no dylint, no miri)
+//! and cheap enough to run as a blocking CI leg.
+//!
+//! Usage:
+//!
+//! ```text
+//! dl-lint --workspace        lint every crate under crates/ (exit 1 on findings)
+//! dl-lint --self-test        run the rules against the known-bad/known-good corpus
+//! dl-lint --rules            list the rule catalogue
+//! dl-lint <file.rs> ...      lint specific files (paths must be workspace-relative)
+//! ```
+//!
+//! Suppressions (both forms require a justification — see `lint.toml`):
+//!
+//! ```text
+//! // dl-lint: allow(<rule>): <why this is sound>
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod config;
+mod corpus;
+mod lexer;
+mod rules;
+
+use config::Config;
+use rules::Violation;
+
+/// Rule catalogue for `--rules`, kept next to the ids they document.
+const CATALOGUE: &[(&str, &str)] = &[
+    (
+        rules::RULE_DETERMINISM,
+        "dl-core/dl-sim/dl-ba/dl-vid must be reproducible from a seed: no \
+         HashMap/HashSet (randomized iteration), thread_rng, Instant::now, or SystemTime",
+    ),
+    (
+        rules::RULE_UNSAFE_HYGIENE,
+        "every `unsafe` site in non-test code carries an immediately preceding \
+         `// SAFETY:` comment (or `# Safety` doc section) stating the upheld invariant",
+    ),
+    (
+        rules::RULE_PANIC_PATH,
+        "no unwrap/expect/panic!/unreachable!/todo! in non-test engine code of \
+         dl-core/dl-store/dl-net; deliberate invariant panics are allowlisted with a reason",
+    ),
+    (
+        rules::RULE_EFFECT_ORDERING,
+        "in any function body that both persists and sends, the first EffectSink::persist \
+         must textually precede the first send (the write-ahead rule recovery depends on)",
+    ),
+    (
+        rules::RULE_SANS_IO,
+        "dl-core is sans-IO: no std::net, std::fs, or thread::sleep — IO and \
+         real time belong to drivers",
+    ),
+    (
+        rules::RULE_ALLOW_NEEDS_REASON,
+        "every dl-lint allow marker (inline or lint.toml) must carry a non-empty justification",
+    ),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("--self-test") => self_test(),
+        Some("--rules") => {
+            for (rule, doc) in CATALOGUE {
+                println!("{rule}\n    {doc}");
+            }
+            0
+        }
+        Some("--workspace") | None => lint_workspace(),
+        Some(_) => {
+            let files: Vec<String> = args
+                .iter()
+                .filter(|a| !a.starts_with("--"))
+                .cloned()
+                .collect();
+            if files.is_empty() {
+                eprintln!("usage: dl-lint [--workspace | --self-test | --rules | <file.rs> ...]");
+                2
+            } else {
+                lint_files(&files)
+            }
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Load `lint.toml` from the workspace root (the directory the binary is
+/// invoked from, which is where `cargo run -p dl-lint` puts us).
+fn load_config() -> Result<Config, String> {
+    match std::fs::read_to_string("lint.toml") {
+        Ok(text) => Config::parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+        Err(e) => Err(format!("lint.toml: {e}")),
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`, workspace-relative with
+/// forward slashes, sorted for stable output.
+fn collect_rs_files(dir: &std::path::Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    Ok(())
+}
+
+fn lint_workspace() -> i32 {
+    if !std::path::Path::new("crates").is_dir() {
+        eprintln!("dl-lint: no crates/ directory here — run from the workspace root");
+        return 2;
+    }
+    let mut files = Vec::new();
+    if let Err(e) = collect_rs_files(std::path::Path::new("crates"), &mut files) {
+        eprintln!("dl-lint: {e}");
+        return 2;
+    }
+    files.sort();
+    lint_files(&files)
+}
+
+fn lint_files(files: &[String]) -> i32 {
+    let cfg = match load_config() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("dl-lint: {e}");
+            return 2;
+        }
+    };
+    let mut violations: Vec<Violation> = Vec::new();
+    for path in files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("dl-lint: {path}: {e}");
+                return 2;
+            }
+        };
+        let file = lexer::lex(path, &text);
+        violations.extend(rules::check_file(&file, &cfg));
+    }
+    violations.sort();
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("dl-lint: {} files clean", files.len());
+        0
+    } else {
+        println!("dl-lint: {} violation(s)", violations.len());
+        1
+    }
+}
+
+/// Run the rules against the embedded corpus. Known-bad snippets must
+/// fire exactly their expected rules; known-good traps must stay silent.
+/// The corpus runs with an empty allowlist so `lint.toml` entries can
+/// never blind it.
+fn self_test() -> i32 {
+    let cfg = Config::default();
+    let mut failures = 0usize;
+    for snip in corpus::CORPUS {
+        let file = lexer::lex(snip.path, snip.text);
+        let found = rules::check_file(&file, &cfg);
+        let mut fired: Vec<&str> = found.iter().map(|v| v.rule).collect();
+        fired.sort_unstable();
+        fired.dedup();
+        let mut expect: Vec<&str> = snip.expect.to_vec();
+        expect.sort_unstable();
+        if fired == expect {
+            println!("self-test {:<45} ok ({})", snip.name, summarize(&expect));
+        } else {
+            failures += 1;
+            println!(
+                "self-test {:<45} FAILED: expected [{}], fired [{}]",
+                snip.name,
+                expect.join(", "),
+                fired.join(", ")
+            );
+            for v in &found {
+                println!("    {v}");
+            }
+        }
+    }
+    // The self-test also guards the rule catalogue itself: every rule
+    // must appear in at least one known-bad snippet, or it has no
+    // blindness protection.
+    for rule in rules::ALL_RULES {
+        let covered = corpus::CORPUS.iter().any(|s| s.expect.contains(rule));
+        if !covered {
+            failures += 1;
+            println!("self-test rule `{rule}` has no known-bad corpus snippet");
+        }
+    }
+    if failures == 0 {
+        println!("dl-lint --self-test: {} snippets ok", corpus::CORPUS.len());
+        0
+    } else {
+        println!("dl-lint --self-test: {failures} failure(s)");
+        1
+    }
+}
+
+fn summarize(expect: &[&str]) -> String {
+    if expect.is_empty() {
+        "silent".to_string()
+    } else {
+        expect.join(", ")
+    }
+}

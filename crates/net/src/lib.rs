@@ -58,6 +58,8 @@
 //! trusted hosts; an authenticated transport (TLS, Noise) would slot in at
 //! the connection layer without touching the engine seam.
 
+#![forbid(unsafe_code)]
+
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};

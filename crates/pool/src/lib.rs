@@ -61,6 +61,8 @@ struct Batch {
 // dispatching `run` call is blocked waiting for the batch, and the
 // closure itself is `Sync` (shared-call-safe).
 unsafe impl Send for Batch {}
+// SAFETY: same invariant as `Send` above — all shared access goes through
+// the `Sync` closure and the atomic counters.
 unsafe impl Sync for Batch {}
 
 impl Batch {
@@ -328,12 +330,22 @@ fn available_cores() -> usize {
 pub struct SharedMut<'a, T> {
     ptr: *mut T,
     len: usize,
+    /// Debug-build registry of every range handed out by [`SharedMut::slice_mut`].
+    /// Overlap detection is the dynamic complement of the static `dl-lint`
+    /// pass: disjointness of the caller's decomposition is the one
+    /// invariant text analysis cannot see. Release builds carry no
+    /// registry and no locking.
+    #[cfg(debug_assertions)]
+    claimed: std::sync::Mutex<Vec<std::ops::Range<usize>>>,
     _marker: std::marker::PhantomData<&'a mut [T]>,
 }
 
 // SAFETY: access is only possible through `slice_mut`, whose contract
 // requires callers to hand out non-overlapping ranges.
 unsafe impl<T: Send> Send for SharedMut<'_, T> {}
+// SAFETY: same contract as `Send` above — concurrent `slice_mut` calls
+// are sound exactly when their ranges are disjoint, which the caller
+// asserts at each `unsafe` call site.
 unsafe impl<T: Send> Sync for SharedMut<'_, T> {}
 
 impl<'a, T> SharedMut<'a, T> {
@@ -342,6 +354,8 @@ impl<'a, T> SharedMut<'a, T> {
         SharedMut {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
+            #[cfg(debug_assertions)]
+            claimed: std::sync::Mutex::new(Vec::new()),
             _marker: std::marker::PhantomData,
         }
     }
@@ -358,8 +372,15 @@ impl<'a, T> SharedMut<'a, T> {
 
     /// Mutable view of `range`, bounds-checked.
     ///
+    /// Debug builds additionally record every claimed range and assert it
+    /// disjoint from all earlier claims on this window — the callers'
+    /// decomposition hands each output region to exactly one job, so any
+    /// overlap over the window's lifetime is a write race in the making.
+    /// Release builds skip the registry entirely.
+    ///
     /// # Safety
-    /// No two concurrently-live views (across all threads) may overlap.
+    /// No two concurrently-live views (across all threads) may overlap,
+    /// and a range must not be re-claimed while the window lives.
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self, range: std::ops::Range<usize>) -> &mut [T] {
         assert!(
@@ -367,6 +388,22 @@ impl<'a, T> SharedMut<'a, T> {
             "SharedMut range {range:?} out of bounds (len {})",
             self.len
         );
+        #[cfg(debug_assertions)]
+        if !range.is_empty() {
+            // An empty view aliases nothing, so only non-empty claims
+            // enter the registry.
+            let mut claimed = self.claimed.lock().expect("SharedMut claim registry");
+            let overlap = claimed
+                .iter()
+                .find(|prev| prev.start < range.end && range.start < prev.end);
+            debug_assert!(
+                overlap.is_none(),
+                "SharedMut overlapping write windows: {range:?} overlaps \
+                 previously claimed {:?}",
+                overlap.expect("checked above")
+            );
+            claimed.push(range.clone());
+        }
         std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.end - range.start)
     }
 }
@@ -421,6 +458,38 @@ mod tests {
         }
     }
 
+    /// The debug-build overlap registry must catch two claims whose
+    /// ranges intersect, even when the claims are sequential — an
+    /// overlapping decomposition is a write race whichever thread gets
+    /// there first.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "overlapping write windows")]
+    fn overlapping_claims_panic_in_debug() {
+        let mut buf = vec![0u8; 32];
+        let window = SharedMut::new(&mut buf);
+        // SAFETY: never written through; the claim only seeds the registry.
+        let _a = unsafe { window.slice_mut(0..10) };
+        // SAFETY: the overlapping claim is the point of the test — it
+        // panics inside slice_mut before a second view can exist.
+        let _b = unsafe { window.slice_mut(5..15) };
+    }
+
+    /// Empty and adjacent ranges are not overlaps: the registry must
+    /// accept the same decompositions the callers legitimately use.
+    #[test]
+    fn adjacent_and_empty_claims_are_disjoint() {
+        let mut buf = vec![0u8; 32];
+        let window = SharedMut::new(&mut buf);
+        // SAFETY: ranges are pairwise disjoint (empty ranges alias nothing).
+        unsafe {
+            window.slice_mut(0..16)[0] = 1;
+            window.slice_mut(16..32)[0] = 2;
+            assert!(window.slice_mut(8..8).is_empty());
+        }
+        assert_eq!((buf[0], buf[16]), (1, 2));
+    }
+
     #[test]
     fn parallel_matches_serial_output() {
         // Determinism: same decomposition → byte-identical output no
@@ -429,6 +498,7 @@ mod tests {
             let mut out = vec![0u8; 4096];
             let window = SharedMut::new(&mut out);
             pool.run(16, |j| {
+                // SAFETY: each job writes only its own 256-byte chunk.
                 let dst = unsafe { window.slice_mut(j * 256..(j + 1) * 256) };
                 for (off, d) in dst.iter_mut().enumerate() {
                     *d = ((j * 31 + off * 7) % 251) as u8;

@@ -35,7 +35,7 @@
 //! quietly, with the cluster quiescing safely. Scenarios without loss or
 //! crashes additionally assert full delivery.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 
 use dl_core::ProtocolVariant;
@@ -326,7 +326,7 @@ pub struct Auditor {
     cluster_n: usize,
     /// `(node, its delivery log at crash time)`.
     snapshots: Vec<(usize, Vec<dl_core::DeliveredBlock>)>,
-    seen: HashSet<String>,
+    seen: BTreeSet<String>,
     violations: Vec<Violation>,
 }
 
@@ -338,7 +338,7 @@ impl Auditor {
             honest,
             cluster_n,
             snapshots: Vec::new(),
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             violations: Vec::new(),
         }
     }
@@ -364,7 +364,7 @@ impl Auditor {
         let honest: Vec<usize> = (0..self.honest.len()).filter(|&i| self.honest[i]).collect();
         // 1. No equivocation within one node's log, 3. validity.
         for &i in &honest {
-            let mut slots: HashSet<(u64, u16)> = HashSet::new();
+            let mut slots: BTreeSet<(u64, u16)> = BTreeSet::new();
             for d in &report.delivered[i] {
                 if !slots.insert((d.epoch.0, d.proposer.0)) {
                     self.record(

@@ -21,7 +21,7 @@
 //! proposals — including an equivocator's pair — always commit to
 //! different roots, just like real Merkle roots.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use dl_core::BlockCoder;
@@ -33,7 +33,7 @@ use dl_wire::{Block, ChunkPayload, ClusterConfig, WireEncode};
 /// Shared by every [`FluidCoder`] of one simulation.
 #[derive(Clone, Debug, Default)]
 pub struct BlockStore {
-    blocks: Arc<Mutex<HashMap<Hash, Block>>>,
+    blocks: Arc<Mutex<BTreeMap<Hash, Block>>>,
 }
 
 impl BlockStore {

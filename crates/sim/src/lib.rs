@@ -29,11 +29,13 @@
 //! outstanding work", which is what [`Simulation::run_until_quiescent`]
 //! reports.
 
+#![forbid(unsafe_code)]
+
 pub mod chaos;
 pub mod fluid;
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 use rand::Rng;
 
@@ -271,7 +273,7 @@ struct Fabric {
     seq: u64,
     now: u64,
     events_processed: u64,
-    scheduled_polls: HashSet<(u64, u16)>,
+    scheduled_polls: BTreeSet<(u64, u16)>,
     delivered: Vec<Vec<DeliveredBlock>>,
     stat_events: Vec<(u64, NodeId, StatEvent)>,
     /// Per-node write-ahead logs (the simulated disks). `None` until the
@@ -587,7 +589,7 @@ impl Simulation {
                 seq: 0,
                 now: 0,
                 events_processed: 0,
-                scheduled_polls: HashSet::new(),
+                scheduled_polls: BTreeSet::new(),
                 delivered: vec![Vec::new(); n],
                 stat_events: Vec::new(),
                 stores: vec![None; n],

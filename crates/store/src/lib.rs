@@ -35,6 +35,8 @@
 //! last whole record. A crash mid-append therefore loses at most the
 //! record being written — never previously-synced history.
 
+#![forbid(unsafe_code)]
+
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -119,7 +121,7 @@ impl MemoryStore {
 
     /// Number of records appended so far.
     pub fn len(&self) -> usize {
-        self.records.lock().unwrap().len()
+        self.records.lock().expect("memory store lock").len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -129,7 +131,10 @@ impl MemoryStore {
 
 impl ChainStore for MemoryStore {
     fn append(&mut self, record: &[u8]) -> io::Result<()> {
-        self.records.lock().unwrap().push(record.to_vec());
+        self.records
+            .lock()
+            .expect("memory store lock")
+            .push(record.to_vec());
         Ok(())
     }
 
@@ -138,11 +143,14 @@ impl ChainStore for MemoryStore {
     }
 
     fn replay(&self) -> io::Result<Vec<Vec<u8>>> {
-        Ok(self.records.lock().unwrap().clone())
+        Ok(self.records.lock().expect("memory store lock").clone())
     }
 
     fn compact(&mut self, keep: &mut dyn FnMut(&[u8]) -> bool) -> io::Result<()> {
-        self.records.lock().unwrap().retain(|r| keep(r));
+        self.records
+            .lock()
+            .expect("memory store lock")
+            .retain(|r| keep(r));
         Ok(())
     }
 }
@@ -325,8 +333,8 @@ fn scan_segment(bytes: &[u8], mut emit: impl FnMut(&[u8])) -> (u64, Option<Damag
         if remaining < RECORD_HEADER {
             return (off as u64, Some(DamageKind::TornTail));
         }
-        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
-        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4-byte slice"));
+        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4-byte slice"));
         if len > MAX_RECORD_LEN {
             // No append ever wrote such a header: the bytes changed.
             return (off as u64, Some(DamageKind::Corruption));

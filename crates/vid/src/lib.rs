@@ -24,6 +24,8 @@
 //! Correctness) are exercised by this crate's tests under crash and
 //! equivocation faults, and by `dl-core`'s integration suites.
 
+#![cfg_attr(not(test), forbid(unsafe_code))]
+
 pub mod cost;
 
 use dl_crypto::{Hash, MerkleProof, MerkleTree};

@@ -541,6 +541,9 @@ fn dispersal_fan_out_shares_one_chunk_arena() {
         });
         assert_eq!(
             bytes.as_ref().as_ptr(),
+            // SAFETY: pointer arithmetic only — the offset stays inside the
+            // arena allocation (i < n, shard_len per chunk) and the result
+            // is compared, never dereferenced.
             unsafe { base.add(i * shard_len) },
             "chunk {i} is not a view into the shared arena"
         );
@@ -586,6 +589,8 @@ fn pooled_dispersal_fan_out_preserves_the_zero_copy_invariant() {
         // Pointer identity: chunk i is a window into the shared arena.
         assert_eq!(
             bytes.as_ref().as_ptr(),
+            // SAFETY: same as the serial variant above — in-bounds pointer
+            // arithmetic, compared but never dereferenced.
             unsafe { base.add(i * shard_len) },
             "pooled chunk {i} is not a view into the shared arena"
         );

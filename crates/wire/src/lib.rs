@@ -10,6 +10,8 @@
 //! benchmark harnesses are the *exact* bytes the real TCP transport
 //! (`dl-net`) would put on the wire.
 
+#![forbid(unsafe_code)]
+
 pub mod block;
 pub mod codec;
 pub mod config;
