@@ -33,7 +33,7 @@ use std::time::Instant;
 use dl_core::ProtocolVariant;
 use dl_erasure::ReedSolomon;
 use dl_pool::Pool;
-use dl_sim::{SimConfig, Simulation};
+use dl_sim::{LinkSpec, SimConfig, Simulation};
 use dl_wire::{NodeId, Tx};
 
 mod scalar_ref {
@@ -283,14 +283,39 @@ struct SimResult {
     txs: usize,
     tx_bytes: u32,
     fluid: bool,
+    /// Epoch dispersal window `k` (1 = the paper's gated schedule).
+    window: u64,
     epochs_delivered: u64,
     epochs_per_sec: f64,
+    /// Virtual-time epoch rate — a pure function of the event schedule,
+    /// so these rows are comparable across machines (unlike the wall
+    /// rates above). The window-sweep rows exist for this column.
+    epochs_per_virtual_sec: f64,
     txs_per_sec: f64,
     payload_mbps: f64,
     events_processed: u64,
     ns_per_event: f64,
 }
 
+/// The variable-bandwidth grid the window sweep runs on: uplink tiers
+/// cycle fast → slow across the cluster (mirrors
+/// `crates/sim/tests/window.rs`).
+fn vary_uplinks(sim: &mut Simulation, nodes: usize) {
+    const TIERS: [u64; 4] = [1250, 800, 400, 200];
+    for node in 0..nodes {
+        sim.set_uplink(
+            node,
+            LinkSpec {
+                latency_ms: 20,
+                bytes_per_ms: TIERS[node % 4],
+            },
+        );
+    }
+}
+
+/// `sweep`: `Some(k)` runs the dispersal-window sweep shape — window `k`
+/// over the variable-bandwidth uplink grid; `None` is a plain uniform-WAN
+/// run at the default window.
 fn bench_sim(
     variant: ProtocolVariant,
     name: &'static str,
@@ -298,13 +323,19 @@ fn bench_sim(
     txs: usize,
     tx_bytes: u32,
     fluid: bool,
+    sweep: Option<u64>,
 ) -> SimResult {
+    let window = sweep.unwrap_or(1);
     let cfg = if fluid {
         SimConfig::fluid(nodes, variant)
     } else {
         SimConfig::new(nodes, variant)
-    };
+    }
+    .with_window(window);
     let mut sim = Simulation::new(cfg);
+    if sweep.is_some() {
+        vary_uplinks(&mut sim, nodes);
+    }
     // Staggered submissions at every node keep the epoch pipeline full.
     for i in 0..txs {
         let node = i % nodes;
@@ -327,8 +358,10 @@ fn bench_sim(
         txs,
         tx_bytes,
         fluid,
+        window,
         epochs_delivered: stats.epochs_delivered,
         epochs_per_sec: stats.epochs_delivered as f64 / wall,
+        epochs_per_virtual_sec: stats.epochs_delivered as f64 / report.now_ms as f64 * 1000.0,
         txs_per_sec: txs as f64 / wall,
         payload_mbps: (txs as f64 * f64::from(tx_bytes)) / 1e6 / wall,
         events_processed: report.events_processed,
@@ -389,7 +422,8 @@ fn render_json(smoke: bool, rs: &[RsResult], merkle: &[MerkleResult], sim: &[Sim
     for (i, v) in sim.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"variant\": \"{}\", \"nodes\": {}, \"txs\": {}, \"tx_bytes\": {}, \
-             \"fluid\": {}, \"epochs_delivered\": {}, \"epochs_per_sec\": {:.1}, \
+             \"fluid\": {}, \"window\": {}, \"epochs_delivered\": {}, \
+             \"epochs_per_sec\": {:.1}, \"epochs_per_virtual_sec\": {:.2}, \
              \"txs_per_sec\": {:.1}, \"payload_mbps\": {:.2}, \
              \"events_processed\": {}, \"ns_per_event\": {:.0}}}{}\n",
             v.variant,
@@ -397,8 +431,10 @@ fn render_json(smoke: bool, rs: &[RsResult], merkle: &[MerkleResult], sim: &[Sim
             v.txs,
             v.tx_bytes,
             v.fluid,
+            v.window,
             v.epochs_delivered,
             v.epochs_per_sec,
+            v.epochs_per_virtual_sec,
             v.txs_per_sec,
             v.payload_mbps,
             v.events_processed,
@@ -695,7 +731,7 @@ fn main() {
     ];
     let mut sim: Vec<SimResult> = variants
         .iter()
-        .map(|&(v, name)| bench_sim(v, name, 4, sim_txs, 400, false))
+        .map(|&(v, name)| bench_sim(v, name, 4, sim_txs, 400, false, None))
         .collect();
     // Fluid mode: paper-scale declared block sizes, clusters the real
     // coder could not materialize chunk bytes for in reasonable time.
@@ -721,16 +757,36 @@ fn main() {
             txs,
             tx_bytes,
             true,
+            None,
+        ));
+    }
+    // The dispersal-window sweep: N = 16 fluid over the variable-bandwidth
+    // uplink grid, one row per k. The wall columns are incidental here —
+    // the payload is `epochs_per_virtual_sec`, which is deterministic and
+    // shows the pipelining win (and the k = 8 contention fade) directly.
+    eprintln!("dl-bench: dispersal-window sweep (N=16 fluid, variable bandwidth)…");
+    let sweep_txs = if opts.smoke { 32 } else { 64 };
+    for k in [1u64, 2, 4, 8] {
+        sim.push(bench_sim(
+            ProtocolVariant::Dl,
+            "dl",
+            16,
+            sweep_txs,
+            160_000,
+            true,
+            Some(k),
         ));
     }
     for r in &sim {
         eprintln!(
-            "  {:<13} N={:<3}{} {:>6} epochs  {:>8.1} epochs/s  {:>8.1} tx/s  {:>7.2} MB/s payload  {:>6.0} ns/event",
+            "  {:<13} N={:<3}{} k={} {:>6} epochs  {:>8.1} epochs/s  {:>7.2} epochs/vs  {:>8.1} tx/s  {:>7.2} MB/s payload  {:>6.0} ns/event",
             r.variant,
             r.nodes,
             if r.fluid { " fluid" } else { "      " },
+            r.window,
             r.epochs_delivered,
             r.epochs_per_sec,
+            r.epochs_per_virtual_sec,
             r.txs_per_sec,
             r.payload_mbps,
             r.ns_per_event

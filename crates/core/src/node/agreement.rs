@@ -1,0 +1,188 @@
+//! Agreement-side pipeline: VID completions, BA decisions, the ACS rule
+//! and retrieval kick-off (paper §4.1–§4.2).
+//!
+//! BA instances are admitted per epoch as traffic arrives (lazily, through
+//! `ensure_epoch`), bounded by the window-widened lookahead — so with a
+//! dispersal window `k > 1`, the BAs of epochs `e + 1 .. e + k` run
+//! concurrently with epoch `e`'s, and the agreement frontier still only
+//! advances over *contiguously* fully-decided epochs.
+
+use std::collections::VecDeque;
+
+use dl_crypto::Hash;
+use dl_vid::{Retrieved, Retriever};
+use dl_wire::{Epoch, NodeId};
+
+use crate::coder::BlockCoder;
+use crate::engine::EffectSink;
+use crate::records::StoreRecord;
+
+use super::{Node, Work};
+
+impl<C: BlockCoder> Node<C> {
+    /// `VID^epoch_index` completed locally (the `Complete` event of Fig. 3).
+    pub(super) fn on_complete(
+        &mut self,
+        epoch: u64,
+        index: usize,
+        root: Hash,
+        work: &mut VecDeque<Work>,
+        out: &mut dyn EffectSink,
+    ) {
+        // WAL: the completion (and the root we will serve retrievals
+        // under) is durable before the availability vote it justifies.
+        if out.persists() {
+            out.persist(StoreRecord::Completed {
+                epoch: Epoch(epoch),
+                index: NodeId(index as u16),
+                root,
+            });
+        }
+        self.trackers[index].complete(Epoch(epoch));
+        // Only linking variants can rescue a completed-but-uncommitted
+        // block, so only they need to remember it (a non-linking variant
+        // would leak one entry per dropped block forever).
+        if self.cfg.flags.linking && !self.delivered[index].contains(Epoch(epoch)) {
+            self.undelivered_completions.insert((epoch, index as u16));
+        }
+        let st = self
+            .epochs
+            .get_mut(epoch)
+            .expect("completion implies state");
+        st.completed[index] = true;
+        if !self.cfg.flags.vote_requires_retrieval {
+            // DispersedLedger: availability alone justifies the vote (§4.2).
+            work.push_back(Work::BaInput {
+                epoch,
+                index,
+                value: true,
+            });
+        } else if st.retrieved[index].is_some() {
+            // HoneyBadger semantics with the block already in hand (our own
+            // proposal, or a retrieval that finished before local
+            // completion).
+            work.push_back(Work::BaInput {
+                epoch,
+                index,
+                value: true,
+            });
+        } else {
+            // HoneyBadger semantics: VID acts as reliable broadcast, so
+            // retrieval starts immediately and the vote waits for it.
+            self.start_retrieval(epoch, index, work, out);
+        }
+    }
+
+    /// A retrieval finished (the `Retrieved` event of Fig. 4).
+    pub(super) fn on_retrieved(
+        &mut self,
+        epoch: u64,
+        index: usize,
+        result: Retrieved<C::Block>,
+        work: &mut VecDeque<Work>,
+    ) {
+        let n = self.cfg.cluster.n;
+        let block = match &result {
+            Retrieved::Block(raw) => self.coder.unpack(raw).filter(|b| {
+                // A block that mis-states its own position or ships a
+                // wrong-sized observation array is Byzantine output.
+                b.header.epoch == Epoch(epoch)
+                    && b.header.proposer == NodeId(index as u16)
+                    && b.header.v_array.len() == n
+            }),
+            Retrieved::BadUploader => None,
+        };
+        let st = self.epochs.get_mut(epoch).expect("retrieval implies state");
+        st.retrieved[index] = Some(block);
+        self.pipeline_dirty = true;
+        if self.cfg.flags.vote_requires_retrieval && st.completed[index] {
+            work.push_back(Work::BaInput {
+                epoch,
+                index,
+                value: true,
+            });
+        }
+    }
+
+    /// `BA^epoch_index` decided.
+    pub(super) fn on_decide(
+        &mut self,
+        epoch: u64,
+        index: usize,
+        value: bool,
+        work: &mut VecDeque<Work>,
+        out: &mut dyn EffectSink,
+    ) {
+        let n = self.cfg.cluster.n;
+        let f = self.cfg.cluster.f;
+        let st = self.epochs.get_mut(epoch).expect("decision implies state");
+        if st.decided[index].is_none() {
+            st.decided[index] = Some(value);
+            st.decided_count += 1;
+            if value {
+                st.decided_ones += 1;
+            }
+            // WAL: the decision is durable before the `Term` broadcast
+            // that follows it in this effect stream.
+            if out.persists() {
+                out.persist(StoreRecord::Decided {
+                    epoch: Epoch(epoch),
+                    index: NodeId(index as u16),
+                    value,
+                });
+            }
+        }
+        self.pipeline_dirty = true;
+        if value {
+            // The block is committed; fetch it if we have not already. This
+            // is where DispersedLedger decouples: the retrieval proceeds at
+            // our own bandwidth without holding up later epochs.
+            self.start_retrieval(epoch, index, work, out);
+        }
+        // ACS rule: once N−f BAs decided 1, input 0 to the rest (§4.1). The
+        // `acs_zeroed` latch makes this fire exactly once per epoch instead
+        // of rescanning all N BAs on every late decision.
+        let st = self.epochs.get_mut(epoch).expect("state exists");
+        if st.decided_ones >= n - f && !st.acs_zeroed {
+            st.acs_zeroed = true;
+            for j in 0..n {
+                if !st.bas[j].has_input() {
+                    work.push_back(Work::BaInput {
+                        epoch,
+                        index: j,
+                        value: false,
+                    });
+                }
+            }
+        }
+        // Advance the agreement frontier over contiguous fully-decided
+        // epochs.
+        while let Some(next) = self.epochs.get(self.agreement_frontier + 1) {
+            if next.all_decided() {
+                self.agreement_frontier += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Start retrieving block `(epoch, index)` unless it is already in hand
+    /// or already being fetched.
+    pub(super) fn start_retrieval(
+        &mut self,
+        epoch: u64,
+        index: usize,
+        work: &mut VecDeque<Work>,
+        out: &mut dyn EffectSink,
+    ) {
+        self.ensure_epoch(epoch);
+        let st = self.epochs.get_mut(epoch).expect("just ensured");
+        if st.retrieved[index].is_some() || st.retrievers[index].is_some() {
+            return;
+        }
+        let (retriever, effects) = Retriever::<C>::start(self.cfg.cluster.n, self.cfg.early_cancel);
+        st.retrievers[index] = Some(retriever);
+        self.stats.retrievals_started += 1;
+        self.apply_vid_effects(epoch, index, effects, work, out);
+    }
+}

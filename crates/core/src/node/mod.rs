@@ -1,0 +1,737 @@
+//! The DispersedLedger node automaton (paper §4).
+//!
+//! [`Node`] is the sans-IO engine every driver programs against, via the
+//! [`crate::Engine`] trait. It exposes exactly three entry points —
+//! [`Node::submit_tx`], [`Node::handle`] and [`Node::poll`] — each writing
+//! its effects into a caller-supplied [`crate::EffectSink`] for the driver
+//! to execute. The node multiplexes, per epoch, `N` VID instances (one
+//! [`dl_vid::VidServer`] per proposer plus our own `Disperser` and on-demand
+//! `Retriever`s) and `N` [`dl_ba::Ba`] instances, and routes incoming
+//! [`Envelope`]s to them by `(epoch, index)`. Drivers never see the inner
+//! `VidEffect`/`BaEffect` vocabularies: everything is translated into the
+//! unified effect set here.
+//!
+//! ## The epoch pipeline
+//!
+//! An epoch `e` goes through three phases, which overlap across epochs
+//! (§4.5 "Running multiple epochs in parallel"):
+//!
+//! 1. **Dispersal + agreement**: every node disperses a block and the `N`
+//!    BAs agree on which dispersals completed. Once `N − f` BAs decide 1,
+//!    the node inputs 0 to every remaining BA (the ACS construction of
+//!    HoneyBadger, §4.1). When *all* BAs of epoch `e` have output, the
+//!    *agreement frontier* advances and — under the
+//!    [`crate::variant::ProposeGate::DispersalDone`] gate — epoch `e + 1`
+//!    may start.
+//! 2. **Retrieval**: committed blocks (and, with inter-node linking §4.3,
+//!    blocks vouched for by the committed observation arrays) are fetched.
+//!    Retrieval never blocks phase 1 of later epochs — that is the paper's
+//!    core decoupling.
+//! 3. **Delivery**: when every needed block of epoch `e` is retrieved, the
+//!    epoch is delivered in a deterministic order (by `(epoch, proposer)`),
+//!    advancing the *delivered frontier*.
+//!
+//! With `NodeConfig::dispersal_window` > 1, phase 1 itself pipelines
+//! *across* epochs: a node that has dispersed its own block for the
+//! current epoch may open (and accept peers' dispersals for) epochs
+//! `e + 1 .. e + k` while agreement for `e` is still running, converting
+//! BA-round idle time on the uplink into throughput (see
+//! `dispersal::advance` for the window rule and its backpressure).
+//!
+//! ## Module layout
+//!
+//! The automaton is split by pipeline phase: [`dispersal`] (the propose
+//! gate, the Nagle rule and the epoch dispersal window), [`agreement`]
+//! (VID completion, BA decisions and the ACS rule), [`delivery`] (epoch
+//! finalization, inter-node linking and garbage collection),
+//! [`recovery`] (write-ahead-log replay and restart catch-up) and
+//! [`epochs`] (per-epoch state and the epoch ring buffer). This file owns
+//! the struct, the entry points and the message routing.
+//!
+//! ## Variant switches
+//!
+//! The four evaluated protocols share this one engine;
+//! [`crate::VariantFlags`] selects the behaviour: `vote_requires_retrieval`
+//! makes BAs wait for the full block (HoneyBadger), `propose_gate` couples
+//! or decouples epoch progression from delivery, `linking` turns on §4.3,
+//! and `empty_when_lagging` is DL-Coupled's spam defence (§4.5).
+//!
+//! ## Liveness and quiescence
+//!
+//! A node proposes its epoch-`e` block when the Nagle thresholds fire (§5):
+//! enough queued bytes, or the delay elapsing while it has queued
+//! transactions *or has observed epoch-`e` traffic from a peer*. The
+//! peer-activity rule keeps every honest node proposing (possibly an empty
+//! block) whenever the epoch is moving — required for the `N − f` BA
+//! quorum — while letting a fully idle cluster go quiescent, which the
+//! discrete-event driver (`dl-sim`) relies on to detect completion.
+
+mod agreement;
+mod delivery;
+mod dispersal;
+mod epochs;
+mod recovery;
+#[cfg(test)]
+mod tests;
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use dl_ba::BaEffect;
+use dl_crypto::Hash;
+use dl_vid::VidEffect;
+use dl_wire::{BaMsg, Block, Envelope, Epoch, NodeId, ProtoMsg, SyncMsg, Tx, VidMsg};
+
+use crate::coder::BlockCoder;
+use crate::engine::{EffectSink, Engine};
+use crate::linking::CompletionTracker;
+use crate::queue::InputQueue;
+use crate::records::StoreRecord;
+use crate::variant::NodeConfig;
+
+use epochs::{EpochRing, EpochState};
+
+/// The reified effect vocabulary of the node automaton.
+///
+/// Engines emit effects by calling the corresponding [`EffectSink`]
+/// methods; this enum is the *value* form of that vocabulary, used where
+/// effects are stored or inspected (`Vec<NodeEffect>` is itself a sink).
+/// Together with the three [`Engine`] entry points this is the entire
+/// driver-facing contract: transports, simulators and benchmarks never see
+/// the inner protocol types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeEffect {
+    /// Put this envelope on the wire to one peer. The node never sends to
+    /// itself — local sub-protocol traffic is looped back internally.
+    Send(NodeId, Envelope),
+    /// A block reached its position in the total order.
+    Deliver(DeliveredBlock),
+    /// Ask the driver to call [`Node::poll`] no later than this time (ms on
+    /// the driver's clock). Advisory: extra or duplicate polls are harmless,
+    /// and periodic-tick drivers may ignore it.
+    WakeAt(u64),
+    /// An observability event (proposals, epoch completions). Drivers may
+    /// log or aggregate these; ignoring them is always safe.
+    Stat(StatEvent),
+    /// A write-ahead record: a persistent driver appends it to its log
+    /// before flushing the sends that follow it. Only emitted when the sink
+    /// reports [`EffectSink::persists`].
+    Persist(StoreRecord),
+    /// Peer `to` cancelled the retrieval of `(epoch, index)`: queued
+    /// `ReturnChunk`s toward it may be dropped. Advisory.
+    PurgeReturns {
+        to: NodeId,
+        epoch: Epoch,
+        index: NodeId,
+    },
+}
+
+/// Observability events surfaced through [`NodeEffect::Stat`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StatEvent {
+    /// We proposed our block for `epoch`.
+    Proposed {
+        epoch: Epoch,
+        txs: usize,
+        payload_bytes: usize,
+        empty: bool,
+    },
+    /// Epoch `epoch` was fully delivered (`blocks` blocks in this batch,
+    /// including any recovered by inter-node linking).
+    EpochDelivered { epoch: Epoch, blocks: usize },
+}
+
+/// A block in its final position in the total order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeliveredBlock {
+    /// The epoch the block was proposed in.
+    pub epoch: Epoch,
+    /// The proposer whose VID instance carried it.
+    pub proposer: NodeId,
+    /// The block contents. `None` means the proposer was Byzantine: the
+    /// dispersal completed but decoded to `BAD_UPLOADER` or to bytes that
+    /// are not a valid block. All correct nodes observe the same `None`
+    /// (AVID-M's Correctness property), so the slot is consistently empty.
+    pub block: Option<Block>,
+    /// Whether inter-node linking (§4.3) recovered this block rather than
+    /// its own epoch's BA committing it.
+    pub via_link: bool,
+    /// Driver-clock time of delivery.
+    pub delivered_ms: u64,
+}
+
+/// Counters maintained by the node (also see [`StatEvent`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    pub txs_submitted: u64,
+    pub txs_delivered: u64,
+    /// Transactions pushed back to the input queue because our block missed
+    /// its epoch's commit (non-linking variants only, §4.2).
+    pub txs_requeued: u64,
+    pub blocks_proposed: u64,
+    pub empty_blocks_proposed: u64,
+    pub blocks_delivered: u64,
+    /// Delivered slots that were `None` (Byzantine proposer).
+    pub malformed_blocks_delivered: u64,
+    /// Deliveries recovered by inter-node linking.
+    pub linked_deliveries: u64,
+    pub epochs_delivered: u64,
+    pub retrievals_started: u64,
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+}
+
+/// Internal routing item: a sub-protocol event to process. Messages a node
+/// sends to itself (every `Broadcast` includes the sender) are looped back
+/// through this queue instead of touching the wire.
+enum Work {
+    Vid {
+        epoch: u64,
+        index: usize,
+        from: NodeId,
+        msg: VidMsg,
+    },
+    Ba {
+        epoch: u64,
+        index: usize,
+        from: NodeId,
+        msg: BaMsg,
+    },
+    BaInput {
+        epoch: u64,
+        index: usize,
+        value: bool,
+    },
+    Sync {
+        from: NodeId,
+        epoch: u64,
+        msg: SyncMsg,
+    },
+}
+
+/// The DispersedLedger node automaton. See the module docs for the protocol
+/// walk-through and `dl-core`'s crate docs for a runnable example.
+pub struct Node<C: BlockCoder> {
+    me: NodeId,
+    cfg: NodeConfig,
+    coder: C,
+    queue: InputQueue,
+    epochs: EpochRing<EpochState<C>>,
+    /// `V[j]`: per peer, the contiguous prefix of locally-completed VIDs
+    /// (what we report in our blocks' observation arrays, Fig. 17).
+    trackers: Vec<CompletionTracker>,
+    /// Per peer, the set of epochs whose block we have delivered.
+    delivered: Vec<CompletionTracker>,
+    /// Bodies of our own proposals, kept until commit/requeue resolution
+    /// (only populated for non-linking variants, which may drop blocks).
+    my_txs: BTreeMap<u64, Vec<Tx>>,
+    /// `(epoch, proposer)` dispersals that completed locally but have not
+    /// been delivered. Entries at or below the delivered frontier missed
+    /// their epoch's commit and need a *later* epoch's linking estimate to
+    /// be rescued (§4.3).
+    undelivered_completions: BTreeSet<(u64, u16)>,
+    /// Epochs in which *we* proposed a non-empty block that has not been
+    /// delivered yet (linking variants only). Only these entries count as
+    /// link-rescue proposal pressure: a node keeps the pipeline moving for
+    /// its own stranded transactions, never for peers' empty blocks —
+    /// otherwise extreme uplink asymmetry makes the pressure
+    /// self-sustaining (every rescue epoch strands a fresh empty block of
+    /// the straggler's, which re-arms the pressure forever).
+    my_nonempty_proposals: BTreeSet<u64>,
+    /// Whether anything changed since the last delivery attempt that could
+    /// let `try_finalize_next` make progress (a BA decision or a finished
+    /// retrieval). Skipping the attempt otherwise keeps the per-event cost
+    /// of the hot loop constant.
+    pipeline_dirty: bool,
+    /// Reusable work-queue buffer for [`Node::run`] — every inbound message
+    /// drives one `run` call, so allocating a fresh queue per message shows
+    /// up directly in simulator throughput.
+    work_scratch: VecDeque<Work>,
+    /// The epoch our next proposal belongs to.
+    next_propose_epoch: u64,
+    /// Highest epoch we have proposed for (0 = none yet).
+    proposed_up_to: u64,
+    /// When `next_propose_epoch` was entered (Nagle delay baseline, §5).
+    /// Lazily initialized to the first driver timestamp we observe, so a
+    /// node constructed mid-run does not see an already-expired delay.
+    epoch_entered_ms: u64,
+    clock_started: bool,
+    /// All epochs `<= agreement_frontier` have every BA decided.
+    agreement_frontier: u64,
+    /// All epochs `<= delivered_frontier` are fully delivered.
+    delivered_frontier: u64,
+    /// Epochs below this have had their delivered slots garbage-collected
+    /// (see `delivery::gc_epochs`).
+    gc_horizon: u64,
+    /// Payload bytes of our own proposals in epochs whose agreement has
+    /// not finished, oldest first — the epoch dispersal window's
+    /// backpressure ledger. Drained as the agreement frontier advances.
+    /// Flow-control state, not safety state: it is rebuilt empty on
+    /// restart (the WAL records *that* we proposed, not how many bytes),
+    /// so a restarted node's window may briefly overshoot the byte cap by
+    /// its pre-crash in-flight payload.
+    inflight: VecDeque<(u64, u64)>,
+    /// Running sum of the `inflight` byte column.
+    inflight_bytes: u64,
+    /// Restart catch-up (see [`Node::restore`]): while true, the node
+    /// periodically asks peers for the outcomes of epochs it missed.
+    sync_active: bool,
+    /// Per-epoch peer-attested outcome vectors collected during catch-up.
+    sync_tally: BTreeMap<u64, Vec<(NodeId, Vec<bool>)>>,
+    /// When the last catch-up request round was broadcast (0 = never).
+    sync_last_request_ms: u64,
+    /// Consecutive request rounds that adopted nothing; two in a row means
+    /// we have reached the cluster's live edge and catch-up ends.
+    sync_rounds_idle: u32,
+    /// Whether anything was adopted since the last request round.
+    sync_progress: bool,
+    /// BA instances in epochs below this line run in observer mode: a
+    /// pre-crash message of ours could have touched them, so re-initiating
+    /// `BVal`/`Aux` there risks equivocating against votes we no longer
+    /// remember sending. Derived in [`Node::restore`].
+    ba_observe_below: u64,
+    stats: NodeStats,
+}
+
+impl<C: BlockCoder> Node<C> {
+    /// A node with identity `me` in the configured cluster.
+    pub fn new(me: NodeId, cfg: NodeConfig, coder: C) -> Node<C> {
+        let n = cfg.cluster.n;
+        assert!(me.idx() < n, "node id out of range");
+        Node {
+            me,
+            cfg,
+            coder,
+            queue: InputQueue::new(),
+            epochs: EpochRing::new(),
+            trackers: vec![CompletionTracker::new(); n],
+            delivered: vec![CompletionTracker::new(); n],
+            my_txs: BTreeMap::new(),
+            undelivered_completions: BTreeSet::new(),
+            my_nonempty_proposals: BTreeSet::new(),
+            pipeline_dirty: false,
+            work_scratch: VecDeque::new(),
+            next_propose_epoch: 1,
+            proposed_up_to: 0,
+            epoch_entered_ms: 0,
+            clock_started: false,
+            agreement_frontier: 0,
+            delivered_frontier: 0,
+            gc_horizon: 0,
+            inflight: VecDeque::new(),
+            inflight_bytes: 0,
+            sync_active: false,
+            sync_tally: BTreeMap::new(),
+            sync_last_request_ms: 0,
+            sync_rounds_idle: 0,
+            sync_progress: false,
+            ba_observe_below: 0,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// This node's identity.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// The node's configuration.
+    pub fn config(&self) -> &NodeConfig {
+        &self.cfg
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// Highest epoch with all `N` BAs decided (contiguously from 1).
+    pub fn agreement_frontier(&self) -> Epoch {
+        Epoch(self.agreement_frontier)
+    }
+
+    /// Highest fully-delivered epoch (contiguously from 1).
+    pub fn delivered_frontier(&self) -> Epoch {
+        Epoch(self.delivered_frontier)
+    }
+
+    /// The epoch our next proposal will belong to.
+    pub fn next_propose_epoch(&self) -> Epoch {
+        Epoch(self.next_propose_epoch)
+    }
+
+    /// Queued (not yet proposed) transactions.
+    pub fn queued_txs(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The effective epoch admission/retention span: the configured
+    /// lookahead, widened if an even larger dispersal window is configured
+    /// so pipelined dispersals are never refused or collected early.
+    fn lookahead(&self) -> u64 {
+        self.cfg.epoch_lookahead.max(self.cfg.dispersal_window)
+    }
+
+    /// Entry point 1/3: a client submits a transaction at this node.
+    pub fn submit_tx(&mut self, tx: Tx, now: u64, sink: &mut dyn EffectSink) {
+        self.stats.txs_submitted += 1;
+        self.queue.push(tx);
+        let work = std::mem::take(&mut self.work_scratch);
+        self.run(work, now, sink)
+    }
+
+    /// Entry point 2/3: a peer's envelope arrived. `from` is the
+    /// transport-authenticated sender. Malformed, out-of-range and
+    /// too-far-future envelopes are dropped (Byzantine peers may send
+    /// anything).
+    pub fn handle(&mut self, from: NodeId, env: Envelope, now: u64, sink: &mut dyn EffectSink) {
+        let mut work = std::mem::take(&mut self.work_scratch);
+        self.admit_envelope(from, env, &mut work);
+        self.run(work, now, sink)
+    }
+
+    /// [`Node::handle`] over a burst of same-instant envelopes from one
+    /// peer: each is validated and enqueued, then the engine runs once —
+    /// the pipeline-advance fixed cost is paid per burst, not per message.
+    pub fn handle_burst(
+        &mut self,
+        from: NodeId,
+        envs: &mut Vec<Envelope>,
+        now: u64,
+        sink: &mut dyn EffectSink,
+    ) {
+        let mut work = std::mem::take(&mut self.work_scratch);
+        for env in envs.drain(..) {
+            self.admit_envelope(from, env, &mut work);
+        }
+        self.run(work, now, sink)
+    }
+
+    /// Validate an inbound envelope and, if acceptable, enqueue its work
+    /// item. Malformed, out-of-range and too-far-future envelopes are
+    /// dropped here (Byzantine peers may send anything).
+    fn admit_envelope(&mut self, from: NodeId, env: Envelope, work: &mut VecDeque<Work>) {
+        let n = self.cfg.cluster.n;
+        let e = env.epoch.0;
+        if e == 0 || e > self.agreement_frontier + self.lookahead() {
+            return; // anti-DoS epoch bound (window-widened, see `lookahead`)
+        }
+        // Below the GC horizon we only keep routing to epochs that still
+        // hold live state (undelivered slots awaiting a linking rescue);
+        // fully-collected epochs must not be resurrected by stale or
+        // Byzantine traffic.
+        if e < self.gc_horizon && !self.epochs.contains(e) {
+            return;
+        }
+        if env.index.idx() >= n || from.idx() >= n {
+            return;
+        }
+        // Catch-up sync messages are routed before the epoch-state checks:
+        // a Request names an epoch *range* starting at the requester's
+        // frontier (possibly one we collected long ago), and neither kind
+        // should instantiate epoch state or count as proposal pressure.
+        if let ProtoMsg::Sync(msg) = env.payload {
+            if from != self.me {
+                work.push_back(Work::Sync {
+                    from,
+                    epoch: e,
+                    msg,
+                });
+            }
+            return;
+        }
+        // §4.2 footnote 3: chunks of `VID^e_i` are only accepted from node
+        // `i` itself — anyone else pushing chunks is Byzantine.
+        if matches!(env.payload, ProtoMsg::Vid(VidMsg::Chunk { .. })) && from != env.index {
+            return;
+        }
+        self.ensure_epoch(e);
+        if from != self.me {
+            self.epochs.get_mut(e).expect("just ensured").activity = true;
+        }
+        let index = env.index.idx();
+        work.push_back(match env.payload {
+            ProtoMsg::Vid(msg) => Work::Vid {
+                epoch: e,
+                index,
+                from,
+                msg,
+            },
+            ProtoMsg::Ba(msg) => Work::Ba {
+                epoch: e,
+                index,
+                from,
+                msg,
+            },
+            // The match above this one consumes every Sync message; a Sync
+            // reaching this arm is a routing bug worth crashing loudly on.
+            // dl-lint: allow(panic-path): unreachable by construction
+            ProtoMsg::Sync(_) => unreachable!("sync handled above"),
+        });
+    }
+
+    /// Entry point 3/3: the clock advanced. Drives the Nagle proposal rule
+    /// and anything else that is time- rather than message-triggered.
+    pub fn poll(&mut self, now: u64, sink: &mut dyn EffectSink) {
+        let work = std::mem::take(&mut self.work_scratch);
+        self.run(work, now, sink)
+    }
+
+    // ---- the engine ----
+
+    /// Central pump: drain the work queue, then advance the epoch pipeline
+    /// (deliveries, proposals), repeating until a fixed point.
+    fn run(&mut self, mut work: VecDeque<Work>, now: u64, sink: &mut dyn EffectSink) {
+        if !self.clock_started {
+            self.clock_started = true;
+            self.epoch_entered_ms = now;
+        }
+        loop {
+            while let Some(w) = work.pop_front() {
+                self.step(w, &mut work, sink);
+            }
+            self.advance(now, &mut work, sink);
+            if work.is_empty() {
+                break;
+            }
+        }
+        // Hand the (now empty) buffer back for the next entry point.
+        self.work_scratch = work;
+    }
+
+    fn step(&mut self, w: Work, work: &mut VecDeque<Work>, out: &mut dyn EffectSink) {
+        match w {
+            Work::Vid {
+                epoch,
+                index,
+                from,
+                msg,
+            } => {
+                self.ensure_epoch(epoch);
+                let me = self.me;
+                let persists = out.persists();
+                // Split borrows: the epoch state and the coder live in
+                // disjoint fields.
+                let Node { coder, epochs, .. } = self;
+                let st = epochs.get_mut(epoch).expect("just ensured");
+                let effects = if matches!(msg, VidMsg::ReturnChunk { .. }) {
+                    match st.retrievers[index].as_mut() {
+                        Some(r) => r.handle(coder, from, msg),
+                        None => Vec::new(), // no retrieval running: ignore
+                    }
+                } else {
+                    // §5 early cancellation, extended to the send path: the
+                    // canceller no longer wants chunks, so anything still
+                    // queued toward it is dead weight.
+                    if matches!(msg, VidMsg::Cancel) && from != me {
+                        out.purge_returns(from, Epoch(epoch), NodeId(index as u16));
+                    }
+                    match st.servers[index].as_mut() {
+                        Some(server) => {
+                            let had_chunk = server.stored_chunk().is_some();
+                            let effects = server.handle(coder, from, msg);
+                            // WAL: chunk custody becomes durable before the
+                            // `GotChunk` acknowledgement (queued in
+                            // `effects`) reaches the wire.
+                            if persists && !had_chunk {
+                                if let Some((root, payload, proof)) = server.stored_chunk() {
+                                    out.persist(StoreRecord::Chunk {
+                                        epoch: Epoch(epoch),
+                                        index: NodeId(index as u16),
+                                        root: *root,
+                                        proof: proof.clone(),
+                                        payload: payload.clone(),
+                                    });
+                                }
+                            }
+                            effects
+                        }
+                        None => Vec::new(), // slot garbage-collected
+                    }
+                };
+                self.apply_vid_effects(epoch, index, effects, work, out);
+            }
+            Work::Ba {
+                epoch,
+                index,
+                from,
+                msg,
+            } => {
+                self.ensure_epoch(epoch);
+                let st = self.epochs.get_mut(epoch).expect("just ensured");
+                if st.bas.is_empty() {
+                    return; // epoch garbage-collected
+                }
+                let effects = st.bas[index].handle(from, msg);
+                self.apply_ba_effects(epoch, index, effects, work, out);
+            }
+            Work::BaInput {
+                epoch,
+                index,
+                value,
+            } => {
+                self.ensure_epoch(epoch);
+                let st = self.epochs.get_mut(epoch).expect("just ensured");
+                if st.bas.is_empty() || st.bas[index].has_input() {
+                    return;
+                }
+                let effects = st.bas[index].input(value);
+                self.apply_ba_effects(epoch, index, effects, work, out);
+            }
+            Work::Sync { from, epoch, msg } => self.on_sync(from, epoch, msg, work, out),
+        }
+    }
+
+    fn apply_vid_effects(
+        &mut self,
+        epoch: u64,
+        index: usize,
+        effects: Vec<VidEffect<C::Block>>,
+        work: &mut VecDeque<Work>,
+        out: &mut dyn EffectSink,
+    ) {
+        for eff in effects {
+            match eff {
+                VidEffect::Send(to, msg) => {
+                    if to == self.me {
+                        work.push_back(Work::Vid {
+                            epoch,
+                            index,
+                            from: self.me,
+                            msg,
+                        });
+                    } else {
+                        self.push_send(
+                            to,
+                            Envelope::vid(Epoch(epoch), NodeId(index as u16), msg),
+                            out,
+                        );
+                    }
+                }
+                VidEffect::Broadcast(msg) => {
+                    for to in 0..self.cfg.cluster.n as u16 {
+                        let to = NodeId(to);
+                        if to == self.me {
+                            work.push_back(Work::Vid {
+                                epoch,
+                                index,
+                                from: self.me,
+                                msg: msg.clone(),
+                            });
+                        } else {
+                            self.push_send(
+                                to,
+                                Envelope::vid(Epoch(epoch), NodeId(index as u16), msg.clone()),
+                                out,
+                            );
+                        }
+                    }
+                }
+                VidEffect::Complete(root) => self.on_complete(epoch, index, root, work, out),
+                VidEffect::Retrieved(r) => self.on_retrieved(epoch, index, r, work),
+            }
+        }
+    }
+
+    fn apply_ba_effects(
+        &mut self,
+        epoch: u64,
+        index: usize,
+        effects: Vec<BaEffect>,
+        work: &mut VecDeque<Work>,
+        out: &mut dyn EffectSink,
+    ) {
+        for eff in effects {
+            match eff {
+                BaEffect::Broadcast(msg) => {
+                    for to in 0..self.cfg.cluster.n as u16 {
+                        let to = NodeId(to);
+                        if to == self.me {
+                            work.push_back(Work::Ba {
+                                epoch,
+                                index,
+                                from: self.me,
+                                msg,
+                            });
+                        } else {
+                            self.push_send(
+                                to,
+                                Envelope::ba(Epoch(epoch), NodeId(index as u16), msg),
+                                out,
+                            );
+                        }
+                    }
+                }
+                BaEffect::Decide(v) => self.on_decide(epoch, index, v, work, out),
+            }
+        }
+    }
+
+    fn push_send(&mut self, to: NodeId, env: Envelope, out: &mut dyn EffectSink) {
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += env.wire_size() as u64;
+        out.send(to, env);
+    }
+
+    fn ensure_epoch(&mut self, epoch: u64) {
+        if self.epochs.contains(epoch) {
+            return;
+        }
+        let n = self.cfg.cluster.n;
+        let f = self.cfg.cluster.f;
+        let seed = self.cfg.cluster.coin_seed;
+        let salts = (0..n).map(|j| {
+            Hash::digest_parts(&[
+                b"dl-ba-salt",
+                &seed,
+                &epoch.to_le_bytes(),
+                &(j as u64).to_le_bytes(),
+            ])
+        });
+        let mut st = EpochState::new(self.me, n, f, salts);
+        // Restart recovery: a pre-crash message of ours could have touched
+        // any epoch below the observe line, including ones whose state is
+        // created lazily after the restart.
+        if epoch < self.ba_observe_below {
+            for ba in &mut st.bas {
+                ba.observe_only();
+            }
+        }
+        self.epochs.insert(epoch, st);
+    }
+}
+
+impl<C: BlockCoder> Engine for Node<C> {
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn submit_tx(&mut self, tx: Tx, now: u64, sink: &mut dyn EffectSink) {
+        Node::submit_tx(self, tx, now, sink)
+    }
+
+    fn handle(&mut self, from: NodeId, env: Envelope, now: u64, sink: &mut dyn EffectSink) {
+        Node::handle(self, from, env, now, sink)
+    }
+
+    fn handle_burst(
+        &mut self,
+        from: NodeId,
+        envs: &mut Vec<Envelope>,
+        now: u64,
+        sink: &mut dyn EffectSink,
+    ) {
+        Node::handle_burst(self, from, envs, now, sink)
+    }
+
+    fn poll(&mut self, now: u64, sink: &mut dyn EffectSink) {
+        Node::poll(self, now, sink)
+    }
+
+    fn stats(&self) -> Option<NodeStats> {
+        Some(self.stats)
+    }
+
+    fn restore(&mut self, records: &[StoreRecord]) {
+        Node::restore(self, records)
+    }
+}

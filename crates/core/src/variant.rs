@@ -115,6 +115,26 @@ pub struct NodeConfig {
     /// Accept messages at most this many epochs past our agreement frontier
     /// (anti-DoS bound; honest nodes never exceed a handful).
     pub epoch_lookahead: u64,
+    /// Epoch dispersal window `k`: how many epochs of *dispersal* may run
+    /// ahead of the propose gate's frontier. With `k = 1` (the default and
+    /// the paper's behaviour) a node proposes for epoch `e + 1` only after
+    /// the gate clears epoch `e`; with `k > 1` it may go on dispersing for
+    /// epochs `e + 1 .. e + k` while agreement for `e` is still in flight,
+    /// converting BA-round idle time on the uplink into throughput
+    /// (pipelining across consensus instances, à la Narwhal/Dispel).
+    /// Commit-driven: the window is anchored to the gate frontier, so it
+    /// only slides as agreement (or, for HB-style gates, delivery)
+    /// advances. Flow control: a pipelined epoch also requires the
+    /// outstanding undecided dispersal payload to stay under
+    /// [`NodeConfig::window_bytes_max`], and DL-Coupled's
+    /// `empty_when_lagging` rule applies to every epoch in the window.
+    pub dispersal_window: u64,
+    /// Backpressure cap for the dispersal window: the total payload bytes
+    /// of our own not-yet-decided proposals that may be outstanding before
+    /// the window stops opening new epochs. Irrelevant at `k = 1` (the
+    /// gate itself serializes); at `k > 1` it bounds how far a fast
+    /// proposer can run ahead of slow agreement in bytes, not just epochs.
+    pub window_bytes_max: u64,
 }
 
 impl NodeConfig {
@@ -128,6 +148,8 @@ impl NodeConfig {
             lag_limit: 1,
             early_cancel: true,
             epoch_lookahead: crate::DEFAULT_EPOCH_LOOKAHEAD,
+            dispersal_window: 1,
+            window_bytes_max: crate::DEFAULT_WINDOW_BYTES_MAX,
         }
     }
 
@@ -141,6 +163,8 @@ impl NodeConfig {
             lag_limit: 1,
             early_cancel: true,
             epoch_lookahead: crate::DEFAULT_EPOCH_LOOKAHEAD,
+            dispersal_window: 1,
+            window_bytes_max: crate::DEFAULT_WINDOW_BYTES_MAX,
         }
     }
 }
@@ -209,6 +233,11 @@ mod tests {
         assert_eq!(cfg.epoch_lookahead, crate::DEFAULT_EPOCH_LOOKAHEAD);
         assert_eq!(cfg.lag_limit, 1, "P = 1 equals HoneyBadger's coupling");
         assert!(cfg.early_cancel, "§6.3 cancel optimization defaults on");
+        assert_eq!(
+            cfg.dispersal_window, 1,
+            "pipelining must be opt-in: k = 1 is the paper's schedule"
+        );
+        assert_eq!(cfg.window_bytes_max, crate::DEFAULT_WINDOW_BYTES_MAX);
     }
 
     #[test]

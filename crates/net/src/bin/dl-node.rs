@@ -27,12 +27,14 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use dl_core::ProtocolVariant;
-use dl_net::{run_cluster_to_quiescence, run_restart_recovery};
+use dl_net::run_restart_recovery;
 use dl_store::FsyncPolicy;
 
 struct Opts {
     nodes: usize,
     variant: Option<ProtocolVariant>,
+    /// Epoch dispersal window `k` (1 = no pipelining).
+    window: u64,
     txs: u64,
     tx_bytes: u32,
     timeout_ms: u64,
@@ -54,8 +56,9 @@ fn parse_variant(name: &str) -> Option<ProtocolVariant> {
 fn usage() -> ! {
     eprintln!(
         "usage: dl-node [--smoke | --restart-smoke] [--nodes N] \
-         [--variant dl|dl-coupled|hb|hb-link|all] [--txs T] [--tx-bytes B] \
-         [--timeout-ms MS] [--data-dir DIR] [--fsync always|epoch|never]"
+         [--variant dl|dl-coupled|hb|hb-link|all] [--window K] [--txs T] \
+         [--tx-bytes B] [--timeout-ms MS] [--data-dir DIR] \
+         [--fsync always|epoch|never]"
     );
     std::process::exit(2);
 }
@@ -64,6 +67,7 @@ fn main() {
     let mut opts = Opts {
         nodes: 4,
         variant: None, // all four
+        window: 1,
         txs: 8,
         tx_bytes: 300,
         timeout_ms: 120_000,
@@ -89,6 +93,13 @@ fn main() {
                 let v = value("--variant");
                 if v != "all" {
                     opts.variant = Some(parse_variant(&v).unwrap_or_else(|| usage()));
+                }
+            }
+            "--window" => {
+                opts.window = value("--window").parse().unwrap_or_else(|_| usage());
+                if opts.window == 0 {
+                    eprintln!("dl-node: --window must be >= 1");
+                    usage()
                 }
             }
             "--txs" => opts.txs = value("--txs").parse().unwrap_or_else(|_| usage()),
@@ -155,21 +166,28 @@ fn main() {
             Some(root) => dl_net::run_cluster_to_quiescence_stored(
                 opts.nodes,
                 variant,
+                opts.window,
                 opts.txs,
                 opts.tx_bytes,
                 timeout,
                 &root.join(variant.label()),
                 opts.fsync,
             ),
-            None => {
-                run_cluster_to_quiescence(opts.nodes, variant, opts.txs, opts.tx_bytes, timeout)
-            }
+            None => dl_net::run_cluster_to_quiescence_windowed(
+                opts.nodes,
+                variant,
+                opts.window,
+                opts.txs,
+                opts.tx_bytes,
+                timeout,
+            ),
         };
         match result {
             Ok(elapsed) => eprintln!(
-                "dl-node: {:<12} {} nodes  {} txs  total order OK  {:.2}s",
+                "dl-node: {:<12} {} nodes  window {}  {} txs  total order OK  {:.2}s",
                 variant.label(),
                 opts.nodes,
+                opts.window,
                 opts.txs,
                 elapsed.as_secs_f64()
             ),

@@ -1000,26 +1000,51 @@ pub fn run_cluster_to_quiescence(
     tx_bytes: u32,
     timeout: Duration,
 ) -> Result<Duration, String> {
-    run_cluster_inner(n, variant, txs, tx_bytes, timeout, None)
+    run_cluster_inner(n, variant, 1, txs, tx_bytes, timeout, None)
+}
+
+/// [`run_cluster_to_quiescence`] with every node running an epoch
+/// dispersal window of `window` (`1` = the strictly gated schedule) —
+/// the `dl-node --window` workload.
+pub fn run_cluster_to_quiescence_windowed(
+    n: usize,
+    variant: ProtocolVariant,
+    window: u64,
+    txs: u64,
+    tx_bytes: u32,
+    timeout: Duration,
+) -> Result<Duration, String> {
+    run_cluster_inner(n, variant, window, txs, tx_bytes, timeout, None)
 }
 
 /// [`run_cluster_to_quiescence`] with every node keeping a write-ahead
 /// log under `data_root/node<i>/` — the `dl-node --data-dir` workload.
+#[allow(clippy::too_many_arguments)]
 pub fn run_cluster_to_quiescence_stored(
     n: usize,
     variant: ProtocolVariant,
+    window: u64,
     txs: u64,
     tx_bytes: u32,
     timeout: Duration,
     data_root: &Path,
     fsync: FsyncPolicy,
 ) -> Result<Duration, String> {
-    run_cluster_inner(n, variant, txs, tx_bytes, timeout, Some((data_root, fsync)))
+    run_cluster_inner(
+        n,
+        variant,
+        window,
+        txs,
+        tx_bytes,
+        timeout,
+        Some((data_root, fsync)),
+    )
 }
 
 fn run_cluster_inner(
     n: usize,
     variant: ProtocolVariant,
+    window: u64,
     txs: u64,
     tx_bytes: u32,
     timeout: Duration,
@@ -1028,7 +1053,7 @@ fn run_cluster_inner(
     let cluster = LocalCluster::spawn_cfg(
         n,
         variant,
-        |_| {},
+        |cfg| cfg.dispersal_window = window.max(1),
         |cfg| {
             if let Some((root, fsync)) = store {
                 cfg.data_dir = Some(root.join(format!("node{}", cfg.me.0)));

@@ -121,6 +121,15 @@ fn seven_node_tcp_cluster_smoke() {
 }
 
 #[test]
+fn pipelined_window_cluster_reaches_total_order_over_tcp() {
+    // The epoch dispersal window over the real transport: k = 4 must
+    // still reach agreement + identical total order (the runner asserts
+    // both), exercising the window plumbing through NetNode spawn.
+    dl_net::run_cluster_to_quiescence_windowed(4, ProtocolVariant::Dl, 4, 8, 300, TIMEOUT)
+        .unwrap_or_else(|msg| panic!("{msg}"));
+}
+
+#[test]
 fn cluster_reconnects_to_a_killed_and_revived_peer() {
     // The reconnect-after-drop satellite, end to end: kill a cluster
     // member mid-run, keep the surviving trio delivering (f = 1), then

@@ -27,14 +27,15 @@
 //! identical to the serial loop regardless of worker count or
 //! scheduling. The data-plane property tests assert exactly that.
 //!
-//! Known limitation: the pool has a **single dispatch slot**. Concurrent
-//! `run` calls from different threads are correct (every batch completes
-//! — the dispatching caller claims any job its workers never take), but
-//! a batch whose slot is overwritten by a later dispatch loses its
-//! workers and degrades toward caller-only execution. Callers that need
-//! guaranteed concurrent scaling (e.g. several engine threads encoding
-//! simultaneously) should hold separate `Pool`s; see ROADMAP.
+//! Concurrent `run` calls from different threads enqueue onto a
+//! **dispatch queue**: workers serve the oldest batch that still has
+//! unclaimed jobs (front-to-back scan), so an early long batch keeps its
+//! workers when a later caller dispatches — no batch ever degrades to
+//! caller-only execution (several engine threads can encode
+//! simultaneously on the one global pool). Each dispatcher removes its
+//! own batch from the queue when it completes.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -51,8 +52,6 @@ struct Batch {
     next: AtomicUsize,
     completed: AtomicUsize,
     panicked: AtomicBool,
-    /// Distinguishes batches so a worker never re-enters one it finished.
-    generation: u64,
     done_lock: Mutex<()>,
     done_cv: Condvar,
 }
@@ -92,12 +91,18 @@ impl Batch {
     fn is_done(&self) -> bool {
         self.completed.load(Ordering::Acquire) == self.jobs
     }
+
+    /// Whether a worker scanning the queue can still claim a job here.
+    fn has_unclaimed(&self) -> bool {
+        self.next.load(Ordering::Relaxed) < self.jobs
+    }
 }
 
-/// The slot workers watch for newly dispatched batches.
+/// The dispatch queue workers watch for batches with unclaimed jobs.
+/// Batches are pushed in dispatch order and each dispatcher removes its
+/// own entry on completion, so a front-to-back scan is oldest-first.
 struct Slot {
-    batch: Option<Arc<Batch>>,
-    generation: u64,
+    queue: VecDeque<Arc<Batch>>,
     shutdown: bool,
 }
 
@@ -143,8 +148,7 @@ impl Pool {
         }
         let shared = Arc::new(Shared {
             slot: Mutex::new(Slot {
-                batch: None,
-                generation: 0,
+                queue: VecDeque::new(),
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -228,23 +232,20 @@ impl Pool {
         // SAFETY: only the lifetime is erased; `run` blocks until every
         // job completed, so the closure outlives all accesses.
         let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f_ref) };
-        let batch = {
+        let batch = Arc::new(Batch {
+            f: f_static,
+            jobs,
+            next: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+        {
             let mut slot = shared.slot.lock().expect("pool slot lock");
-            slot.generation += 1;
-            let batch = Arc::new(Batch {
-                f: f_static,
-                jobs,
-                next: AtomicUsize::new(0),
-                completed: AtomicUsize::new(0),
-                panicked: AtomicBool::new(false),
-                generation: slot.generation,
-                done_lock: Mutex::new(()),
-                done_cv: Condvar::new(),
-            });
-            slot.batch = Some(Arc::clone(&batch));
+            slot.queue.push_back(Arc::clone(&batch));
             shared.work_cv.notify_all();
-            batch
-        };
+        }
         // The caller is a worker too. Mark the thread so nested `run`
         // calls from inside `f` stay inline, and so a panicking job
         // cannot unwind out before the other workers are done with `f`.
@@ -259,15 +260,11 @@ impl Pool {
                 guard = batch.done_cv.wait(guard).expect("pool done wait");
             }
         }
-        // Retire the batch so idle workers stop seeing it.
+        // Retire the batch so idle workers stop scanning past it.
         {
             let mut slot = shared.slot.lock().expect("pool slot lock");
-            if slot
-                .batch
-                .as_ref()
-                .is_some_and(|b| b.generation == batch.generation)
-            {
-                slot.batch = None;
+            if let Some(pos) = slot.queue.iter().position(|b| Arc::ptr_eq(b, &batch)) {
+                slot.queue.remove(pos);
             }
         }
         match caller_result {
@@ -298,7 +295,6 @@ impl Drop for Pool {
 
 fn worker_loop(shared: &Shared) {
     IN_POOL_JOB.with(|c| c.set(true));
-    let mut last_generation = 0u64;
     loop {
         let batch = {
             let mut slot = shared.slot.lock().expect("pool slot lock");
@@ -306,13 +302,17 @@ fn worker_loop(shared: &Shared) {
                 if slot.shutdown {
                     return;
                 }
-                match &slot.batch {
-                    Some(b) if b.generation != last_generation => break Arc::clone(b),
-                    _ => slot = shared.work_cv.wait(slot).expect("pool work wait"),
+                // Oldest-first: serve the front-most batch that still has
+                // unclaimed jobs. An early long batch keeps its workers
+                // even while later dispatchers queue behind it; a batch
+                // whose indices are all claimed is skipped (its dispatcher
+                // removes it once the stragglers finish).
+                match slot.queue.iter().find(|b| b.has_unclaimed()) {
+                    Some(b) => break Arc::clone(b),
+                    None => slot = shared.work_cv.wait(slot).expect("pool work wait"),
                 }
             }
         };
-        last_generation = batch.generation;
         batch.work();
     }
 }
@@ -517,7 +517,7 @@ mod tests {
         let pool = Pool::new(4);
         let hits = AtomicUsize::new(0);
         pool.run(8, |_| {
-            // A nested dispatch must not deadlock on the single slot.
+            // A nested dispatch must not deadlock on the dispatch queue.
             pool.run(4, |_| {
                 hits.fetch_add(1, Ordering::Relaxed);
             });
@@ -545,6 +545,79 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    /// Two threads hammering the same pool with interleaved batches:
+    /// every job of every batch must run exactly once regardless of how
+    /// dispatches interleave on the queue.
+    #[test]
+    fn two_concurrent_callers_never_lose_or_duplicate_jobs() {
+        let pool = Arc::new(Pool::new(4));
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let jobs = 64;
+                    let counts: Vec<AtomicU64> = (0..jobs).map(|_| AtomicU64::new(0)).collect();
+                    barrier.wait();
+                    for _ in 0..50 {
+                        pool.run(jobs, |i| {
+                            counts[i].fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                    counts
+                        .iter()
+                        .map(|c| c.load(Ordering::Relaxed))
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, hits) in h.join().expect("caller thread").iter().enumerate() {
+                assert_eq!(*hits, 50, "job {i} of a contended batch");
+            }
+        }
+    }
+
+    /// Regression for the single-dispatch-slot design: a batch dispatched
+    /// *while an earlier batch is still in flight* must still be served by
+    /// pool workers, not just its own caller. The second batch's two jobs
+    /// rendezvous on a barrier, which can only happen if two distinct
+    /// threads execute them concurrently — under caller-only degradation
+    /// this would deadlock instead of passing.
+    #[test]
+    fn later_batch_gets_worker_help_while_earlier_batch_is_in_flight() {
+        let pool = Arc::new(Pool::new(4));
+        let release_a = Arc::new(AtomicBool::new(false));
+        let a_started = Arc::new(std::sync::Barrier::new(2));
+        let pool_a = Arc::clone(&pool);
+        let release = Arc::clone(&release_a);
+        let started = Arc::clone(&a_started);
+        let first = std::thread::spawn(move || {
+            // Two jobs so the batch really goes through the dispatch queue
+            // (single-job batches run inline); job 0 parks mid-flight,
+            // leaving a fully-claimed but uncompleted batch at the front
+            // that later scans must step past.
+            pool_a.run(2, |i| {
+                if i == 0 {
+                    started.wait();
+                    while !release.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+        // Batch A's job 0 is definitely claimed and parked.
+        a_started.wait();
+        let in_b = Arc::new(std::sync::Barrier::new(2));
+        let in_b2 = Arc::clone(&in_b);
+        pool.run(2, move |_| {
+            in_b2.wait();
+        });
+        release_a.store(true, Ordering::Release);
+        first.join().expect("first caller");
     }
 
     #[test]

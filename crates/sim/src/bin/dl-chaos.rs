@@ -25,10 +25,11 @@ fn usage() -> ! {
 
 fn describe(sc: &ChaosScenario) -> String {
     format!(
-        "n={} {:?} adversary={} drop={:.3} dup={:.3} reorder={:.2} jitter={}ms \
+        "n={} {:?} window={} adversary={} drop={:.3} dup={:.3} reorder={:.2} jitter={}ms \
          partitions={} storm={}",
         sc.n,
         sc.variant,
+        sc.dispersal_window,
         sc.adversary
             .map_or_else(|| "none".to_string(), |k| format!("{k:?}")),
         sc.plan.drop,

@@ -188,6 +188,10 @@ pub struct ChaosScenario {
     pub seed: u64,
     pub n: usize,
     pub variant: ProtocolVariant,
+    /// Epoch dispersal window `k` for every honest node (1 = no
+    /// pipelining); chaos runs routinely draw `k > 1` so the pipelined
+    /// schedule faces every adversary, partition and crash storm.
+    pub dispersal_window: u64,
     /// The adversary occupying slot `n - 1`, if any.
     pub adversary: Option<SimNodeKind>,
     pub plan: ChaosPlan,
@@ -233,6 +237,7 @@ pub fn scenario_from_seed(seed: u64) -> ChaosScenario {
     let variant = VARIANTS[(seed % 4) as usize];
     let adversary = ADVERSARIES[((seed / 4) % 6) as usize];
     let n = if rng.gen_bool(0.5) { 4 } else { 7 };
+    let dispersal_window = [1u64, 2, 4][rng.gen_range(0..3usize)];
     let horizon_ms = 4_000;
     let mut plan = ChaosPlan::quiet(seed);
     plan.horizon_ms = horizon_ms;
@@ -290,6 +295,7 @@ pub fn scenario_from_seed(seed: u64) -> ChaosScenario {
         seed,
         n,
         variant,
+        dispersal_window,
         adversary,
         plan,
         actions,
@@ -474,7 +480,8 @@ pub struct ChaosOutcome {
 /// workload, interleave the crash/revive storm with run segments (auditing
 /// at every boundary), and run the healed cluster to quiescence.
 pub fn run_scenario(sc: &ChaosScenario) -> ChaosOutcome {
-    let mut sim = Simulation::new(SimConfig::new(sc.n, sc.variant));
+    let mut sim =
+        Simulation::new(SimConfig::new(sc.n, sc.variant).with_window(sc.dispersal_window));
     let honest: Vec<bool> = (0..sc.n)
         .map(|i| sc.adversary.is_none() || i != sc.n - 1)
         .collect();

@@ -21,9 +21,11 @@ use dl_wire::NodeId;
 fn chaos_batch_holds_safety_across_32_seeds() {
     let mut lossless_seen = 0u32;
     let mut adversaries_seen: HashSet<String> = HashSet::new();
+    let mut windows_seen: HashSet<u64> = HashSet::new();
     for seed in 0..32u64 {
         let sc = scenario_from_seed(seed);
         adversaries_seen.insert(format!("{:?}", sc.adversary));
+        windows_seen.insert(sc.dispersal_window);
         let out = run_scenario(&sc);
         assert!(
             out.report.quiesced,
@@ -73,6 +75,10 @@ fn chaos_batch_holds_safety_across_32_seeds() {
         6,
         "32 seeds missed an adversary: {adversaries_seen:?}"
     );
+    assert!(
+        windows_seen.iter().any(|&k| k > 1),
+        "32 seeds never drew a pipelined dispersal window: {windows_seen:?}"
+    );
 }
 
 /// An injected violation must report its reproducing seed, and the report
@@ -84,6 +90,7 @@ fn violations_replay_deterministically_with_their_seed() {
         seed: 42,
         n: 4,
         variant: dl_core::ProtocolVariant::Dl,
+        dispersal_window: 1,
         adversary: None,
         plan: ChaosPlan::quiet(42),
         actions: Vec::new(),
@@ -132,6 +139,7 @@ fn partition_heals_and_the_cluster_recovers() {
         seed: 7,
         n: 4,
         variant: dl_core::ProtocolVariant::Dl,
+        dispersal_window: 1,
         adversary: None,
         plan,
         actions: Vec::new(),
@@ -161,6 +169,7 @@ fn heavy_loss_never_breaks_safety() {
         seed: 3,
         n: 7,
         variant: dl_core::ProtocolVariant::HoneyBadgerLink,
+        dispersal_window: 2,
         adversary: Some(SimNodeKind::Equivocate),
         plan,
         actions: Vec::new(),
